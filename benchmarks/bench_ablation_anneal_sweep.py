@@ -1,0 +1,52 @@
+"""A3 (ablation): annealer schedule sweep — ground-state probability vs. effort.
+
+Sweeps the number of Metropolis sweeps per read on the proof-of-concept Ising
+problem.  Expected shape: the ground-state probability rises monotonically
+(noise aside) with the number of sweeps and saturates near 1, while the mean
+energy approaches the exact ground energy of -4.
+"""
+
+import pytest
+
+from repro.simulators.anneal import BinaryQuadraticModel, ExactSolver, SimulatedAnnealingSampler
+
+
+def cycle_bqm():
+    return BinaryQuadraticModel.from_ising(
+        [0, 0, 0, 0], {(0, 1): 1.0, (1, 2): 1.0, (2, 3): 1.0, (3, 0): 1.0}
+    )
+
+
+@pytest.mark.parametrize("num_sweeps", [10, 100, 1000])
+def test_anneal_sweep_count(benchmark, num_sweeps):
+    sampler = SimulatedAnnealingSampler()
+    bqm = cycle_bqm()
+
+    def run():
+        return sampler.sample(bqm, num_reads=500, num_sweeps=num_sweeps, seed=42)
+
+    sampleset = benchmark(run)
+    ground_probability = sampleset.ground_state_probability()
+    if num_sweeps >= 100:
+        assert ground_probability > 0.9
+    benchmark.extra_info.update(
+        {
+            "num_sweeps": num_sweeps,
+            "ground_state_probability": round(ground_probability, 4),
+            "mean_energy": round(sampleset.mean_energy(), 4),
+            "exact_ground_energy": ExactSolver().ground_energy(bqm),
+        }
+    )
+
+
+def test_exact_enumeration_baseline(benchmark):
+    """Brute-force baseline the annealer is compared against."""
+    bqm = cycle_bqm()
+    solver = ExactSolver()
+
+    def run():
+        return solver.ground_states(bqm)
+
+    ground = benchmark(run)
+    assert len(ground) == 2
+    benchmark.extra_info.update({"ground_energy": float(ground.first.energy)})

@@ -1,0 +1,56 @@
+"""A5 (extension): cost-hint-driven backend selection for a mixed workload.
+
+The scheduler consumes exactly the metadata the paper says Qiskit hides
+(Section 2, "the cost information is not visible"): per-operator cost hints
+plus the context's sampling policy.  The benchmark schedules a mixed fleet of
+gate and annealing bundles and checks the expected shape: QAOA bundles land on
+a gate engine, Ising bundles on an annealing/exact engine, and the makespan is
+bounded by the sum of the per-job estimates.
+"""
+
+from repro.problems import MaxCutProblem, random_graph
+from repro.services import CostAwareScheduler
+from repro.workflows import build_anneal_bundle, build_qaoa_bundle
+
+
+def test_mixed_workload_scheduling(benchmark, cycle4):
+    scheduler = CostAwareScheduler()
+    workload = [
+        build_qaoa_bundle(cycle4, name="qaoa-c4"),
+        build_anneal_bundle(cycle4, name="ising-c4"),
+        build_anneal_bundle(MaxCutProblem(random_graph(10, 0.4, seed=3)), name="ising-r10"),
+        build_qaoa_bundle(MaxCutProblem(random_graph(6, 0.5, seed=4)),
+                          gammas=[-0.4], betas=[0.4], name="qaoa-r6"),
+    ]
+
+    def run():
+        return scheduler.schedule(workload)
+
+    schedule = benchmark(run)
+
+    assert schedule.engine_of("qaoa-c4").startswith("gate.")
+    assert schedule.engine_of("qaoa-r6").startswith("gate.")
+    assert schedule.engine_of("ising-c4").split(".")[0] in ("anneal", "exact")
+    assert schedule.engine_of("ising-r10").split(".")[0] in ("anneal", "exact")
+    total = sum(job.estimated_runtime_s for job in schedule.jobs)
+    assert schedule.makespan_s <= total + 1e-9
+
+    benchmark.extra_info.update(
+        {
+            "assignments": {job.bundle_name: job.engine for job in schedule.jobs},
+            "makespan_s": round(schedule.makespan_s, 4),
+            "total_runtime_s": round(total, 4),
+        }
+    )
+
+
+def test_per_bundle_estimation(benchmark, cycle4):
+    scheduler = CostAwareScheduler()
+    bundle = build_qaoa_bundle(cycle4)
+
+    def run():
+        return scheduler.choose_engine(bundle)
+
+    engine, runtime = benchmark(run)
+    assert engine.startswith("gate.") and runtime > 0
+    benchmark.extra_info.update({"chosen_engine": engine, "estimated_runtime_s": round(runtime, 5)})

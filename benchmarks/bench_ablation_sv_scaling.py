@@ -1,0 +1,39 @@
+"""A4 (ablation): state-vector substrate scaling with register width.
+
+Runs the full middle-layer QFT workflow (descriptor -> lowering -> transpile ->
+simulate) for growing phase-register widths.  Expected shape: runtime grows
+exponentially with width (each extra carrier doubles the state vector) while
+the two-qubit count grows only quadratically — the gap the cost hints expose
+to the scheduler.
+"""
+
+import pytest
+
+from repro import package, phase_register
+from repro.core import ContextDescriptor, ExecPolicy
+from repro.oplib import measurement, qft_operator
+from repro.backends import submit
+
+
+@pytest.mark.parametrize("width", [4, 8, 12])
+def test_qft_width_scaling(benchmark, width):
+    reg = phase_register(f"p{width}", width)
+    context = ContextDescriptor(
+        exec=ExecPolicy(engine="gate.aer_simulator", samples=1024, seed=1,
+                        options={"optimization_level": 1})
+    )
+    bundle = package(reg, [qft_operator(reg), measurement(reg)], context, name=f"qft{width}")
+
+    def run():
+        return submit(bundle)
+
+    result = benchmark(run)
+    assert result.counts.shots == 1024
+    benchmark.extra_info.update(
+        {
+            "width": width,
+            "statevector_dim": 2 ** width,
+            "lowered_twoq": result.metadata["lowered_twoq"],
+            "cost_hint_twoq": bundle.operators[0].cost_hint.twoq,
+        }
+    )

@@ -1,0 +1,47 @@
+"""E5 (Listings 2-3): descriptor construction, validation and round-trip.
+
+Times the pure middle-layer operations on the Listing 2 register and Listing 3
+operator: building the descriptors, validating them against their JSON
+Schemas, and the JSON round trip.  Checks that the library's QFT cost model
+reproduces the figures quoted in Listing 3 (~45 two-qubit gates, depth ~100
+for a width-10 exact QFT).
+"""
+
+import json
+
+from repro import phase_register
+from repro.core import QuantumDataType, QuantumOperatorDescriptor
+from repro.oplib import qft_operator
+
+
+def test_listing2_qdt_round_trip(benchmark):
+    def round_trip():
+        reg = phase_register("reg_phase", 10, name="phase", phase_scale="1/1024")
+        doc = reg.to_dict()
+        return QuantumDataType.from_dict(json.loads(json.dumps(doc)))
+
+    reg = benchmark(round_trip)
+    assert reg.width == 10
+    benchmark.extra_info.update({"document": "QDT (Listing 2)"})
+
+
+def test_listing3_qod_cost_hint(benchmark):
+    reg = phase_register("reg_phase", 10, phase_scale="1/1024")
+
+    def build():
+        op = qft_operator(reg, approx_degree=0, do_swaps=True)
+        return QuantumOperatorDescriptor.from_dict(op.to_dict())
+
+    op = benchmark(build)
+    # Listing 3: cost_hint {"twoq": 45, "depth": 100}.  Our estimator counts the
+    # 45 controlled-phase gates plus the wire-reversal swaps and lands nearby.
+    controlled_phase_count = 10 * 9 // 2
+    assert controlled_phase_count == 45
+    assert 45 <= op.cost_hint.twoq <= 60
+    assert 90 <= op.cost_hint.depth <= 110
+    benchmark.extra_info.update(
+        {
+            "paper_cost_hint": {"twoq": 45, "depth": 100},
+            "our_cost_hint": op.cost_hint.to_dict(),
+        }
+    )

@@ -1,0 +1,74 @@
+"""E6 (Listing 4): the execution context's target block changes the realization.
+
+Listing 4 constrains compilation to the {sx, rz, cx} basis and a linear
+coupling map, "which forces realistic routing and basis decompositions";
+omitting the block yields an ideal all-to-all device.  The benchmark transpiles
+the width-10 QFT both ways and checks the expected shape: the constrained
+target needs strictly more two-qubit gates and more depth.
+"""
+
+import pytest
+
+from repro import package, phase_register
+from repro.core import ContextDescriptor, ExecPolicy, TargetSpec
+from repro.oplib import measurement, qft_operator
+from repro.backends import GateBackend
+from repro.simulators.gate.transpiler import transpile
+
+
+def _build_circuit():
+    reg = phase_register("reg_phase", 10, phase_scale="1/1024")
+    bundle = package(
+        reg,
+        [qft_operator(reg), measurement(reg)],
+        ContextDescriptor(exec=ExecPolicy(engine="gate.aer_simulator", samples=1)),
+        name="qft",
+    )
+    circuit, _ = GateBackend().build_circuit(bundle)
+    return circuit
+
+
+LINEAR_COUPLING = [(i, i + 1) for i in range(9)]
+
+
+def test_listing4_constrained_target(benchmark):
+    circuit = _build_circuit()
+
+    def run():
+        return transpile(
+            circuit,
+            basis_gates=["sx", "rz", "cx"],
+            coupling_map=LINEAR_COUPLING,
+            optimization_level=2,
+        )
+
+    constrained = benchmark(run)
+    unconstrained = transpile(circuit, basis_gates=["sx", "rz", "cx"], optimization_level=2)
+
+    assert constrained.metrics["twoq"] > unconstrained.metrics["twoq"]
+    assert constrained.metrics["depth"] > unconstrained.metrics["depth"]
+    assert constrained.num_swaps_inserted > 0
+
+    benchmark.extra_info.update(
+        {
+            "unconstrained_twoq": unconstrained.metrics["twoq"],
+            "constrained_twoq": constrained.metrics["twoq"],
+            "unconstrained_depth": unconstrained.metrics["depth"],
+            "constrained_depth": constrained.metrics["depth"],
+            "swaps_inserted": constrained.num_swaps_inserted,
+            "routing_overhead_factor": round(
+                constrained.metrics["twoq"] / unconstrained.metrics["twoq"], 3
+            ),
+        }
+    )
+
+
+def test_listing4_all_to_all_target(benchmark):
+    circuit = _build_circuit()
+
+    def run():
+        return transpile(circuit, basis_gates=["sx", "rz", "cx"], optimization_level=2)
+
+    result = benchmark(run)
+    assert result.num_swaps_inserted == 0
+    benchmark.extra_info.update({"twoq": result.metrics["twoq"], "depth": result.metrics["depth"]})

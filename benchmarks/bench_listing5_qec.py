@@ -1,0 +1,66 @@
+"""E7 (Listing 5): the QEC context and its resource consequences.
+
+Listing 5 attaches a distance-7 surface-code policy to the context while the
+operator descriptors stay purely logical.  The benchmark plans the Max-Cut
+QAOA bundle under distances 3-11 and checks the physical shape: physical-qubit
+count grows quadratically with distance while the logical failure probability
+falls steeply (below threshold).
+"""
+
+from repro.core import QECPolicy
+from repro.services import QECService
+from repro.workflows import build_qaoa_bundle
+
+
+def test_listing5_qec_distance_sweep(benchmark, cycle4):
+    bundle = build_qaoa_bundle(cycle4)
+    service = QECService()
+    distances = (3, 5, 7, 9, 11)
+
+    def run():
+        return service.compare_distances(bundle, distances, physical_error_rate=1e-3)
+
+    plans = benchmark(run)
+
+    physical = [p.total_physical_qubits for p in plans]
+    failures = [p.failure_probability for p in plans]
+    # Shape: monotone growth in physical qubits, monotone decay in failure rate.
+    assert physical == sorted(physical)
+    assert failures == sorted(failures, reverse=True)
+    d7 = dict(zip(distances, plans))[7]
+    assert d7.physical_qubits_per_logical == 97
+    assert d7.total_physical_qubits == 4 * 97
+
+    benchmark.extra_info.update(
+        {
+            "distances": list(distances),
+            "total_physical_qubits": physical,
+            "failure_probabilities": [f"{f:.2e}" for f in failures],
+            "listing5_distance7_total_physical": d7.total_physical_qubits,
+        }
+    )
+
+
+def test_listing5_same_program_with_and_without_qec(benchmark, cycle4):
+    """The operator descriptors are byte-identical with and without the qec block."""
+    service = QECService()
+
+    def run():
+        plain = build_qaoa_bundle(cycle4)
+        protected = plain.with_context(
+            plain.context.with_engine(plain.context.engine)
+        )
+        protected.context.qec = QECPolicy(code_family="surface", distance=7, allocator="auto")
+        plan = service.plan(protected)
+        return plain, protected, plan
+
+    plain, protected, plan = benchmark(run)
+    assert plain.operators.to_list() == protected.operators.to_list()
+    assert plan.logical_qubits == 4
+    benchmark.extra_info.update(
+        {
+            "operators_unchanged": True,
+            "physical_qubits_under_qec": plan.total_physical_qubits,
+            "execution_time_us": round(plan.execution_time_us, 1),
+        }
+    )

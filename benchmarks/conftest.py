@@ -1,0 +1,17 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark reproduces one row of the experiment index in DESIGN.md and
+records the quantities the paper reports in ``benchmark.extra_info`` so the
+pytest-benchmark JSON/terminal output doubles as the reproduction record
+(EXPERIMENTS.md quotes these numbers).
+"""
+
+import pytest
+
+from repro.problems import MaxCutProblem
+
+
+@pytest.fixture
+def cycle4():
+    """The paper's proof-of-concept instance: unit-weight 4-cycle."""
+    return MaxCutProblem.cycle(4)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The motivational example done right: a typed 10-qubit QFT (Listing 1 vs 2-4).
+
+Section 2 of the paper walks through a plain Qiskit QFT program and lists what
+a technology-agnostic middle layer should have made explicit: the register's
+meaning, the measurement semantics, the execution policy, and the cost of the
+operator.  This example is the middle-layer version of that program:
+
+* a width-10 *phase register* with ``phase_scale = 1/1024`` (Listing 2),
+* a ``QFT_TEMPLATE`` operator descriptor with a cost hint and an explicit
+  result schema (Listing 3),
+* an execution context selecting the simulator, 10000 samples, a linear
+  coupling map and basis gates (Listing 4),
+* decoding of the measured counts into phase fractions via the declared
+  semantics — no guessing about endianness.
+
+The input state is prepared at phase 3/8 of a turn (basis value 384/1024), so
+the inverse QFT concentrates the measured distribution on that value.
+
+Run:  python examples/qft_phase_register.py
+"""
+
+from fractions import Fraction
+
+from repro import package, phase_register
+from repro.core import ContextDescriptor, ExecPolicy, TargetSpec
+from repro.oplib import measurement, prep_basis_state, qft_operator, inverse_qft_operator
+from repro.backends import submit
+
+
+def main() -> None:
+    width = 10
+    reg = phase_register("reg_phase", width, name="phase", phase_scale="1/1024")
+    print("Quantum data type (Listing 2):")
+    print(" ", reg.to_dict())
+
+    # Intent: prepare a known phase value, apply QFT then its inverse, measure.
+    target_phase = Fraction(3, 8)  # = 384/1024, exactly representable
+    prepare = prep_basis_state(reg, target_phase, name="prepare_phase")
+    qft = qft_operator(reg, approx_degree=0, do_swaps=True)
+    iqft = inverse_qft_operator(reg, do_swaps=True)
+    meas = measurement(reg)
+
+    print("\nOperator descriptor (Listing 3):")
+    print(" ", {k: v for k, v in qft.to_dict().items() if k != "result_schema"})
+    print("  cost hint:", qft.cost_hint.to_dict())
+
+    context = ContextDescriptor(
+        exec=ExecPolicy(
+            engine="gate.aer_simulator",
+            samples=10000,
+            seed=42,
+            target=TargetSpec(
+                basis_gates=["sx", "rz", "cx"],
+                coupling_map=[[i, i + 1] for i in range(width - 1)],
+            ),
+            options={"optimization_level": 2},
+        )
+    )
+    print("\nContext descriptor (Listing 4):")
+    print(" ", context.to_dict()["exec"])
+
+    bundle = package(reg, [prepare, qft, iqft, meas], context, name="qft-roundtrip")
+    result = submit(bundle)
+
+    decoded = result.decoded().single()
+    top = decoded.most_likely()
+    print("\nExecution on", result.engine)
+    print(f"  transpiled depth        : {result.metadata['transpiled_twoq']} two-qubit gates, "
+          f"depth {result.metadata['transpiled_depth']}")
+    print(f"  most likely outcome     : bits={top.bits}  decoded phase={top.value} of a turn")
+    print(f"  probability             : {top.probability:.3f}")
+    print(f"  expected phase fraction : "
+          f"{decoded.expectation(lambda v: float(v)):.4f} (target {float(target_phase):.4f})")
+    assert top.value == target_phase, "QFT round-trip should return the prepared phase"
+    print("\nQFT -> IQFT round-trip recovered the typed phase value exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: one typed problem, two quantum technologies.
+
+This is the paper's proof of concept in ~40 lines of user code: declare what
+the register *means* once, describe the Max-Cut problem as operator
+descriptors, and run it on a gate-model simulator (QAOA formulation) and on a
+simulated annealer (Ising formulation) by swapping only the operator
+formulation and the execution context.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MaxCutProblem, solve_maxcut
+
+
+def main() -> None:
+    # The 4-node cycle with unit weights — the instance from Section 5.
+    problem = MaxCutProblem.cycle(4)
+    optimal_cut, optimal_assignments = problem.brute_force()
+    print(f"Problem: Max-Cut on the 4-cycle (optimal cut = {optimal_cut:g})")
+    print(f"Optimal assignments: {['{}'.format(''.join(map(str, a))) for a in optimal_assignments]}")
+    print()
+
+    # Gate path: QAOA descriptor stack -> state-vector simulator.
+    gate = solve_maxcut(problem, formulation="qaoa")
+    print("Gate path (QAOA on the state-vector simulator)")
+    print(f"  engine            : {gate.result.engine}")
+    print(f"  expected cut      : {gate.expected_cut:.3f}  (paper reports ~3.0-3.2)")
+    print(f"  best assignments  : {gate.best_assignments}  (cut = {gate.best_cut:g})")
+    print(f"  approximation     : {gate.approximation_ratio:.3f}")
+    print()
+
+    # Annealing path: a single Ising problem descriptor -> simulated annealer.
+    anneal = solve_maxcut(problem, formulation="ising")
+    print("Annealing path (Ising problem on the simulated annealer)")
+    print(f"  engine            : {anneal.result.engine}")
+    print(f"  expected cut      : {anneal.expected_cut:.3f}")
+    print(f"  best assignments  : {anneal.best_assignments}  (cut = {anneal.best_cut:g})")
+    print(f"  ground-state prob : {anneal.result.metadata['ground_state_probability']:.3f}")
+    print()
+
+    both_found_optimum = gate.found_optimum and anneal.found_optimum
+    print(f"Both backends found the optimal cuts 1010 / 0101: {both_found_optimum}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in environments whose setuptools/wheel combination
+predates PEP 660 editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

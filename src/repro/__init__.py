@@ -1,0 +1,116 @@
+"""repro — a technology-agnostic quantum middle layer.
+
+Reproduction of Markidis, Netzer, Pennati & Peng, *An HPC-Inspired Blueprint
+for a Technology-Agnostic Quantum Middle Layer* (SC Workshops '25).
+
+The public API follows the paper's four components:
+
+* **Quantum data types** (:mod:`repro.core.qdt`) — typed registers with
+  explicit meaning.
+* **Quantum operator descriptors** (:mod:`repro.core.qod`,
+  :mod:`repro.oplib`) — logical transformations with parameters, cost hints
+  and result schemas.
+* **Context descriptors** (:mod:`repro.core.context`) — execution policy,
+  orthogonal to semantics, plus orthogonal context services
+  (:mod:`repro.services`).
+* **Algorithmic libraries and packaging** (:mod:`repro.oplib`,
+  :mod:`repro.core.bundle`) — constructors that emit descriptor sequences and
+  bundle them into ``job.json`` submissions consumed by backends
+  (:mod:`repro.backends`).
+
+Quickstart::
+
+    from repro import MaxCutProblem, solve_maxcut
+
+    problem = MaxCutProblem.cycle(4)
+    gate = solve_maxcut(problem, formulation="qaoa")
+    anneal = solve_maxcut(problem, formulation="ising")
+    print(gate.expected_cut, anneal.best_assignments)
+"""
+
+from .core import (
+    AnnealPolicy,
+    BitOrder,
+    CommPolicy,
+    ContextDescriptor,
+    CostHint,
+    EncodingKind,
+    ExecPolicy,
+    JobBundle,
+    MeasurementSemantics,
+    MiddleLayerError,
+    OperatorSequence,
+    PulsePolicy,
+    QECPolicy,
+    QuantumDataType,
+    QuantumOperatorDescriptor,
+    ResultSchema,
+    TargetSpec,
+    boolean_register,
+    integer_register,
+    ising_register,
+    package,
+    phase_register,
+    verify,
+)
+from .backends import ExecutionResult, get_backend, list_engines, register_backend, submit
+from .oplib import (
+    ising_problem_operator,
+    measurement,
+    prep_uniform,
+    qaoa_sequence,
+    qft_operator,
+)
+from .problems import MaxCutProblem
+from .results import Counts, SampleSet, decode_counts
+from .workflows import solve_maxcut
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core descriptors
+    "QuantumDataType",
+    "EncodingKind",
+    "BitOrder",
+    "MeasurementSemantics",
+    "QuantumOperatorDescriptor",
+    "OperatorSequence",
+    "ResultSchema",
+    "CostHint",
+    "ContextDescriptor",
+    "ExecPolicy",
+    "TargetSpec",
+    "QECPolicy",
+    "AnnealPolicy",
+    "CommPolicy",
+    "PulsePolicy",
+    "JobBundle",
+    "package",
+    "verify",
+    "MiddleLayerError",
+    # register constructors
+    "phase_register",
+    "integer_register",
+    "boolean_register",
+    "ising_register",
+    # algorithmic libraries
+    "qft_operator",
+    "qaoa_sequence",
+    "ising_problem_operator",
+    "prep_uniform",
+    "measurement",
+    # execution
+    "submit",
+    "get_backend",
+    "list_engines",
+    "register_backend",
+    "ExecutionResult",
+    # results
+    "Counts",
+    "SampleSet",
+    "decode_counts",
+    # problems & workflows
+    "MaxCutProblem",
+    "solve_maxcut",
+]

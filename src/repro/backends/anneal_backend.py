@@ -1,0 +1,120 @@
+"""The annealing reference backend (D-Wave Ocean ``neal`` stand-in).
+
+Consumes bundles whose operator sequence contains a single ``ISING_PROBLEM``
+or ``QUBO_PROBLEM`` descriptor (plus optional MEASUREMENT/BARRIER no-ops),
+builds the corresponding binary quadratic model, and samples it with the
+simulated annealer configured by the context's ``anneal`` policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.bundle import JobBundle
+from ..core.context import AnnealPolicy, ContextDescriptor, ExecPolicy
+from ..core.errors import BackendError, CapabilityError
+from ..core.qod import QuantumOperatorDescriptor
+from ..simulators.anneal.bqm import BinaryQuadraticModel
+from ..simulators.anneal.sampler import SimulatedAnnealingSampler
+from .base import Backend, ExecutionResult
+
+__all__ = ["AnnealBackend", "bqm_from_operator"]
+
+_PROBLEM_KINDS = ("ISING_PROBLEM", "QUBO_PROBLEM")
+_PASSTHROUGH_KINDS = ("MEASUREMENT", "BARRIER", "IDENTITY")
+
+
+def bqm_from_operator(op: QuantumOperatorDescriptor) -> BinaryQuadraticModel:
+    """Build a binary quadratic model from a problem descriptor."""
+    if op.rep_kind == "ISING_PROBLEM":
+        h = [float(x) for x in op.params.get("h", [])]
+        edges = op.params.get("edges") or []
+        weights = op.params.get("weights") or [1.0] * len(edges)
+        constant = float(op.params.get("constant", 0.0))
+        bqm = BinaryQuadraticModel.from_ising(h, {}, offset=constant)
+        for (i, j), w in zip(edges, weights):
+            bqm.add_interaction(int(i), int(j), float(w))
+        return bqm
+    if op.rep_kind == "QUBO_PROBLEM":
+        Q = op.params["Q"]
+        constant = float(op.params.get("constant", 0.0))
+        mapping = {}
+        for i, row in enumerate(Q):
+            for j, value in enumerate(row):
+                if value and j >= i:
+                    mapping[(i, j)] = float(value)
+        return BinaryQuadraticModel.from_qubo(mapping, offset=constant)
+    raise CapabilityError(f"operator {op.name!r} ({op.rep_kind}) is not an annealing problem")
+
+
+class AnnealBackend(Backend):
+    """Backend realising Ising/QUBO problem descriptors on the simulated annealer."""
+
+    name = "anneal.reference"
+    engines = (
+        "anneal.simulated_annealer",
+        "anneal.neal",
+        "anneal.reference",
+    )
+    supported_rep_kinds = _PROBLEM_KINDS + _PASSTHROUGH_KINDS
+
+    def __init__(self, sampler: Optional[SimulatedAnnealingSampler] = None) -> None:
+        self.sampler = sampler or SimulatedAnnealingSampler()
+
+    def _problem(self, bundle: JobBundle) -> QuantumOperatorDescriptor:
+        problems = [op for op in bundle.operators if op.rep_kind in _PROBLEM_KINDS]
+        if len(problems) != 1:
+            raise CapabilityError(
+                f"the annealing backend expects exactly one problem descriptor, "
+                f"found {len(problems)}"
+            )
+        return problems[0]
+
+    def run(self, bundle: JobBundle) -> ExecutionResult:
+        self.check_capabilities(bundle)
+        context = bundle.context or ContextDescriptor(exec=ExecPolicy(engine=self.engines[0]))
+        policy = context.anneal or AnnealPolicy(num_reads=context.exec.samples)
+
+        problem = self._problem(bundle)
+        bqm = bqm_from_operator(problem)
+        try:
+            sampleset = self.sampler.sample(
+                bqm,
+                num_reads=policy.num_reads,
+                num_sweeps=policy.num_sweeps,
+                beta_range=policy.beta_range,
+                schedule=policy.schedule,
+                seed=policy.seed if policy.seed is not None else context.exec.seed,
+            )
+        except Exception as exc:  # noqa: BLE001 - surface as backend failure
+            raise BackendError(f"annealing backend sampling failed: {exc}") from exc
+
+        counts = sampleset.to_counts()
+        schema = problem.result_schema
+        schemas = [(schema, 0)] if schema is not None else []
+        # A separate MEASUREMENT descriptor may carry the decoding schema instead.
+        if not schemas:
+            for op in bundle.operators:
+                if op.is_measurement and op.result_schema is not None:
+                    schemas.append((op.result_schema, 0))
+                    break
+
+        return ExecutionResult(
+            backend_name=self.name,
+            engine=context.exec.engine,
+            counts=counts,
+            sampleset=sampleset,
+            result_schemas=schemas,
+            bundle_digest=bundle.digest(),
+            metadata={
+                "num_reads": policy.num_reads,
+                "num_sweeps": policy.num_sweeps,
+                "schedule": policy.schedule,
+                "num_variables": bqm.num_variables,
+                "num_interactions": bqm.num_interactions,
+                "best_energy": float(sampleset.first.energy),
+                "mean_energy": float(sampleset.mean_energy()),
+                "ground_state_probability": float(sampleset.ground_state_probability()),
+            },
+            _bundle=bundle,
+        )

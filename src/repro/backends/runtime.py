@@ -1,0 +1,53 @@
+"""Submission runtime: validate a bundle, pick the backend, execute, record.
+
+:func:`submit` is the single call applications use once a bundle exists — it
+re-validates, resolves the engine named by the context, checks backend
+capabilities, runs, and annotates the result with wall-clock timing and the
+bundle digest so results remain traceable to their submission artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..core.bundle import JobBundle
+from ..core.context import ContextDescriptor
+from ..core.errors import ContextError
+from .base import Backend, ExecutionResult
+from .registry import get_backend
+
+__all__ = ["submit"]
+
+
+def submit(
+    bundle: JobBundle,
+    *,
+    backend: Optional[Backend] = None,
+    validate: bool = True,
+) -> ExecutionResult:
+    """Execute *bundle* on the backend selected by its context.
+
+    Parameters
+    ----------
+    backend:
+        Explicit backend override (useful in tests); by default the engine
+        named by ``bundle.context.exec.engine`` is resolved from the registry.
+    validate:
+        Re-run full bundle validation before execution (cheap, on by default).
+    """
+    if bundle.context is None:
+        raise ContextError(
+            "bundle has no execution context; attach a ContextDescriptor before submitting"
+        )
+    if validate:
+        bundle.validate()
+    selected = backend or get_backend(bundle.context.exec.engine)
+    selected.check_capabilities(bundle)
+
+    started = time.perf_counter()
+    result = selected.run(bundle)
+    elapsed = time.perf_counter() - started
+    result.metadata.setdefault("wall_time_s", elapsed)
+    result.metadata.setdefault("engine_requested", bundle.context.exec.engine)
+    return result

@@ -1,0 +1,124 @@
+"""Core middle-layer abstractions: descriptors, validation, packaging.
+
+This package is the paper's primary contribution — the backend-neutral,
+context-aware middle layer.  Everything here is pure data plus validation:
+no gates, pulses, annealing schedules or device details appear below
+:mod:`repro.backends`.
+"""
+
+from .bundle import JobBundle, package
+from .context import (
+    AnnealPolicy,
+    CommPolicy,
+    ContextDescriptor,
+    ExecPolicy,
+    PulsePolicy,
+    QECPolicy,
+    TargetSpec,
+)
+from .cost import CostHint
+from .errors import (
+    BackendError,
+    CapabilityError,
+    CompatibilityError,
+    ContextError,
+    DecodingError,
+    DescriptorError,
+    LoweringError,
+    MiddleLayerError,
+    PackagingError,
+    SchemaValidationError,
+    ServiceError,
+    SimulationError,
+    TranspilerError,
+)
+from .provenance import Provenance, build_provenance
+from .qdt import (
+    BitOrder,
+    Carrier,
+    EncodingKind,
+    MeasurementSemantics,
+    QuantumDataType,
+    boolean_register,
+    fixed_point_register,
+    integer_register,
+    ising_register,
+    phase_register,
+)
+from .qod import OperatorSequence, QuantumOperatorDescriptor
+from .registry import RepKindInfo, get_rep_kind, has_rep_kind, list_rep_kinds, register_rep_kind
+from .result_schema import ClbitRef, ResultSchema
+from .schemas import (
+    CTX_SCHEMA_ID,
+    JOB_SCHEMA_ID,
+    QDT_SCHEMA_ID,
+    QOD_SCHEMA_ID,
+    get_schema,
+    validate_document,
+)
+from .validation import ValidationIssue, ValidationReport, check_sequence, verify
+
+__all__ = [
+    # bundle / packaging
+    "JobBundle",
+    "package",
+    # context
+    "ContextDescriptor",
+    "ExecPolicy",
+    "TargetSpec",
+    "QECPolicy",
+    "AnnealPolicy",
+    "CommPolicy",
+    "PulsePolicy",
+    # cost & provenance
+    "CostHint",
+    "Provenance",
+    "build_provenance",
+    # data types
+    "QuantumDataType",
+    "EncodingKind",
+    "BitOrder",
+    "MeasurementSemantics",
+    "Carrier",
+    "phase_register",
+    "integer_register",
+    "boolean_register",
+    "ising_register",
+    "fixed_point_register",
+    # operators
+    "QuantumOperatorDescriptor",
+    "OperatorSequence",
+    "ResultSchema",
+    "ClbitRef",
+    # registry
+    "RepKindInfo",
+    "register_rep_kind",
+    "get_rep_kind",
+    "has_rep_kind",
+    "list_rep_kinds",
+    # schemas & validation
+    "QDT_SCHEMA_ID",
+    "QOD_SCHEMA_ID",
+    "CTX_SCHEMA_ID",
+    "JOB_SCHEMA_ID",
+    "get_schema",
+    "validate_document",
+    "verify",
+    "check_sequence",
+    "ValidationReport",
+    "ValidationIssue",
+    # errors
+    "MiddleLayerError",
+    "SchemaValidationError",
+    "DescriptorError",
+    "CompatibilityError",
+    "ContextError",
+    "PackagingError",
+    "DecodingError",
+    "LoweringError",
+    "CapabilityError",
+    "BackendError",
+    "ServiceError",
+    "TranspilerError",
+    "SimulationError",
+]

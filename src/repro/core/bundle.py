@@ -1,0 +1,184 @@
+"""Job bundles: the packaging step that produces ``job.json``.
+
+The algorithmic libraries finish with "a packaging utility to finally combine
+the quantum data type, operators, and optional context into a submission
+bundle (job.json)" (Section 4.4).  :class:`JobBundle` is that artifact: the
+complete, backend-neutral description of one submission.  Backends consume a
+bundle and return results; nothing else crosses the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from .context import ContextDescriptor
+from .errors import PackagingError
+from .provenance import Provenance, build_provenance
+from .qdt import QuantumDataType
+from .qod import OperatorSequence, QuantumOperatorDescriptor
+from .schemas import JOB_SCHEMA_ID, validate_document
+from .serialization import digest, load_json, save_json
+from .validation import ValidationReport, verify
+
+__all__ = ["JobBundle", "package"]
+
+
+@dataclass
+class JobBundle:
+    """A packaged submission: registers + operators + optional context."""
+
+    qdts: Dict[str, QuantumDataType]
+    operators: OperatorSequence
+    context: Optional[ContextDescriptor] = None
+    name: str = "job"
+    provenance: Optional[Provenance] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.operators, OperatorSequence):
+            self.operators = OperatorSequence(self.operators)
+        if isinstance(self.qdts, (list, tuple)):
+            self.qdts = {q.id: q for q in self.qdts}
+        if not self.qdts:
+            raise PackagingError("a job bundle needs at least one quantum data type")
+        if len(self.operators) == 0:
+            raise PackagingError("a job bundle needs at least one operator descriptor")
+
+    # -- accessors -------------------------------------------------------------
+    def register(self, register_id: str) -> QuantumDataType:
+        """Look up a declared register by id."""
+        try:
+            return self.qdts[register_id]
+        except KeyError:
+            raise PackagingError(f"bundle declares no register {register_id!r}") from None
+
+    @property
+    def total_width(self) -> int:
+        """Total number of logical carriers across all registers."""
+        return sum(q.width for q in self.qdts.values())
+
+    @property
+    def engine(self) -> Optional[str]:
+        """The engine requested by the context, if any."""
+        return self.context.engine if self.context is not None else None
+
+    def result_schemas(self) -> List[Any]:
+        """Every result schema attached to operators, in sequence order."""
+        return [op.result_schema for op in self.operators if op.result_schema is not None]
+
+    # -- validation --------------------------------------------------------------
+    def verify(self) -> ValidationReport:
+        """Full semantic verification; returns the report without raising."""
+        return verify(self.qdts, self.operators, self.context)
+
+    def validate(self) -> None:
+        """Schema + semantic validation; raises on the first error."""
+        validate_document(self.to_dict(), JOB_SCHEMA_ID)
+        self.verify().raise_if_failed()
+
+    # -- serialization -------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Render the full ``job.json`` document."""
+        doc: Dict[str, Any] = {
+            "$schema": JOB_SCHEMA_ID,
+            "name": self.name,
+            "qdts": [q.to_dict() for q in self.qdts.values()],
+            "operators": self.operators.to_list(),
+        }
+        if self.context is not None:
+            doc["context"] = self.context.to_dict()
+        if self.provenance is not None:
+            doc["provenance"] = self.provenance.to_dict()
+        if self.metadata:
+            doc["metadata"] = dict(self.metadata)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "JobBundle":
+        """Rebuild a bundle from a ``job.json`` document."""
+        validate_document(dict(doc), JOB_SCHEMA_ID)
+        qdts = {d["id"]: QuantumDataType.from_dict(d) for d in doc["qdts"]}
+        operators = OperatorSequence.from_list(doc["operators"])
+        context = (
+            ContextDescriptor.from_dict(doc["context"]) if doc.get("context") is not None else None
+        )
+        return cls(
+            qdts=qdts,
+            operators=operators,
+            context=context,
+            name=doc.get("name", "job"),
+            provenance=Provenance.from_dict(doc.get("provenance")),
+            metadata=dict(doc.get("metadata", {})),
+        )
+
+    def save(self, path) -> None:
+        """Write the bundle to ``job.json``."""
+        save_json(self.to_dict(), path)
+
+    @classmethod
+    def load(cls, path) -> "JobBundle":
+        """Load a bundle from a ``job.json`` file."""
+        return cls.from_dict(load_json(path))
+
+    def digest(self) -> str:
+        """Content digest of the bundle body (excluding provenance)."""
+        body = self.to_dict()
+        body.pop("provenance", None)
+        return digest(body)
+
+    # -- functional updates ----------------------------------------------------------
+    def with_context(self, context: ContextDescriptor) -> "JobBundle":
+        """Return a copy of the bundle re-targeted with *context*.
+
+        This is the paper's central portability move: intent artifacts stay
+        untouched, only the context changes.
+        """
+        return JobBundle(
+            qdts=dict(self.qdts),
+            operators=OperatorSequence(self.operators.operators),
+            context=context,
+            name=self.name,
+            provenance=self.provenance,
+            metadata=dict(self.metadata),
+        )
+
+
+def package(
+    qdts: Union[QuantumDataType, Iterable[QuantumDataType], Mapping[str, QuantumDataType]],
+    operators: Union[OperatorSequence, Iterable[QuantumOperatorDescriptor]],
+    context: Optional[ContextDescriptor] = None,
+    *,
+    name: str = "job",
+    producer: str = "",
+    validate: bool = True,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> JobBundle:
+    """Package registers, operators and an optional context into a bundle.
+
+    This is the one-call packaging utility of Section 4.4.  With
+    ``validate=True`` (the default) the bundle is schema- and
+    semantically-validated before it is returned, so invalid submissions fail
+    at packaging time rather than at the backend.
+    """
+    if isinstance(qdts, QuantumDataType):
+        qdt_map: Dict[str, QuantumDataType] = {qdts.id: qdts}
+    elif isinstance(qdts, Mapping):
+        qdt_map = dict(qdts)
+    else:
+        qdt_map = {q.id: q for q in qdts}
+
+    sequence = operators if isinstance(operators, OperatorSequence) else OperatorSequence(operators)
+    bundle = JobBundle(
+        qdts=qdt_map,
+        operators=sequence,
+        context=context,
+        name=name,
+        metadata=dict(metadata or {}),
+    )
+    body = bundle.to_dict()
+    body.pop("provenance", None)
+    bundle.provenance = build_provenance(body, producer=producer)
+    if validate:
+        bundle.validate()
+    return bundle

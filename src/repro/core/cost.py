@@ -1,0 +1,134 @@
+"""Device-independent cost hints attached to operator descriptors.
+
+The paper argues (Section 2, "The cost information is not visible") that a
+technology-agnostic middle layer should expose cost metadata analogous to
+FLOP counts in HPC schedulers: two-qubit gate counts, depth, ancilla demand,
+communication volume, expected duration.  :class:`CostHint` is that record.
+
+Cost hints are *estimates supplied by the algorithmic library*; backends may
+refine or ignore them.  They compose: sequential composition adds counts and
+depths, parallel composition adds counts but takes the maximum depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+__all__ = ["CostHint"]
+
+_NUMERIC_FIELDS = (
+    "oneq",
+    "twoq",
+    "depth",
+    "ancilla",
+    "communication",
+    "duration_ns",
+    "shots",
+    "reads",
+    "variables",
+    "couplers",
+)
+
+
+@dataclass
+class CostHint:
+    """Optional, device-independent resource estimate for one operator.
+
+    All fields default to ``None`` meaning "no estimate provided"; arithmetic
+    treats missing values as zero (for additive fields) so partially-known
+    hints still compose.
+    """
+
+    oneq: Optional[float] = None
+    twoq: Optional[float] = None
+    depth: Optional[float] = None
+    ancilla: Optional[float] = None
+    communication: Optional[float] = None
+    duration_ns: Optional[float] = None
+    shots: Optional[float] = None
+    reads: Optional[float] = None
+    variables: Optional[float] = None
+    couplers: Optional[float] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dictionary, omitting unset fields."""
+        doc: Dict[str, Any] = {}
+        for name in _NUMERIC_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                doc[name] = value
+        if self.extras:
+            doc["extras"] = dict(self.extras)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Optional[Mapping[str, Any]]) -> Optional["CostHint"]:
+        """Build a hint from a dictionary; ``None``/empty input yields ``None``."""
+        if not doc:
+            return None
+        known = {k: doc[k] for k in _NUMERIC_FIELDS if k in doc}
+        extras = dict(doc.get("extras", {}))
+        # Unknown numeric keys are preserved in extras rather than dropped.
+        for key, value in doc.items():
+            if key not in _NUMERIC_FIELDS and key != "extras":
+                extras[key] = value
+        return cls(extras=extras, **known)
+
+    # -- algebra ------------------------------------------------------------
+    def _binary(self, other: "CostHint", mode: str) -> "CostHint":
+        result: Dict[str, Optional[float]] = {}
+        for name in _NUMERIC_FIELDS:
+            a, b = getattr(self, name), getattr(other, name)
+            if a is None and b is None:
+                result[name] = None
+                continue
+            a = a or 0.0
+            b = b or 0.0
+            if mode == "max" and name == "depth":
+                result[name] = max(a, b)
+            else:
+                result[name] = a + b
+        extras = dict(self.extras)
+        extras.update(other.extras)
+        return CostHint(extras=extras, **result)
+
+    def sequential(self, other: "CostHint") -> "CostHint":
+        """Compose two hints executed one after the other (everything adds)."""
+        return self._binary(other, "add")
+
+    def parallel(self, other: "CostHint") -> "CostHint":
+        """Compose two hints executed concurrently (depth takes the maximum)."""
+        return self._binary(other, "max")
+
+    def __add__(self, other: "CostHint") -> "CostHint":
+        return self.sequential(other)
+
+    def scaled(self, factor: float) -> "CostHint":
+        """Multiply every numeric estimate by *factor* (e.g. repeated layers)."""
+        values = {
+            name: (getattr(self, name) * factor if getattr(self, name) is not None else None)
+            for name in _NUMERIC_FIELDS
+        }
+        return CostHint(extras=dict(self.extras), **values)
+
+    @staticmethod
+    def total(hints: Iterable[Optional["CostHint"]]) -> "CostHint":
+        """Sequentially accumulate an iterable of hints, ignoring ``None``."""
+        acc = CostHint()
+        for hint in hints:
+            if hint is not None:
+                acc = acc.sequential(hint)
+        return acc
+
+    # -- convenience --------------------------------------------------------
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Numeric field accessor treating missing values as *default*."""
+        value = getattr(self, name, None)
+        return default if value is None else float(value)
+
+    def is_empty(self) -> bool:
+        """True when no estimate at all has been provided."""
+        return all(getattr(self, name) is None for name in _NUMERIC_FIELDS) and not self.extras

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the quantum middle layer.
+
+Every error raised by :mod:`repro` derives from :class:`MiddleLayerError` so
+applications can catch middle-layer failures with a single ``except`` clause
+while still being able to distinguish schema problems, descriptor
+incompatibilities, lowering failures, and backend execution errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MiddleLayerError",
+    "SchemaValidationError",
+    "DescriptorError",
+    "CompatibilityError",
+    "ContextError",
+    "PackagingError",
+    "DecodingError",
+    "LoweringError",
+    "CapabilityError",
+    "BackendError",
+    "ServiceError",
+    "TranspilerError",
+    "SimulationError",
+]
+
+
+class MiddleLayerError(Exception):
+    """Base class for every error raised by the middle layer."""
+
+
+class SchemaValidationError(MiddleLayerError):
+    """A JSON document failed validation against its declared JSON Schema.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    path:
+        JSON-pointer-like path (``$.exec.samples``) to the offending element.
+    schema_path:
+        Path within the schema that produced the failure.
+    """
+
+    def __init__(self, message: str, path: str = "$", schema_path: str = "#"):
+        super().__init__(f"{path}: {message}")
+        self.message = message
+        self.path = path
+        self.schema_path = schema_path
+
+
+class DescriptorError(MiddleLayerError):
+    """A descriptor (QDT, QOD, context) is structurally or semantically invalid."""
+
+
+class CompatibilityError(MiddleLayerError):
+    """Two descriptors cannot be combined (e.g. operator vs. register width)."""
+
+
+class ContextError(MiddleLayerError):
+    """An execution context is invalid or inconsistent with the operators."""
+
+
+class PackagingError(MiddleLayerError):
+    """A job bundle could not be assembled or parsed."""
+
+
+class DecodingError(MiddleLayerError):
+    """Measured results could not be decoded under the declared result schema."""
+
+
+class LoweringError(MiddleLayerError):
+    """An operator descriptor has no realization rule for the selected backend."""
+
+
+class CapabilityError(MiddleLayerError):
+    """A backend does not support a requested rep_kind, encoding, or policy."""
+
+
+class BackendError(MiddleLayerError):
+    """A backend failed while executing a submitted bundle."""
+
+
+class ServiceError(MiddleLayerError):
+    """An orthogonal context service (QEC, communication, pulse, ...) failed."""
+
+
+class TranspilerError(MiddleLayerError):
+    """The gate-model transpiler could not satisfy the target constraints."""
+
+
+class SimulationError(MiddleLayerError):
+    """A simulator substrate failed (invalid circuit, dimension mismatch, ...)."""

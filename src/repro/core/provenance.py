@@ -1,0 +1,72 @@
+"""Provenance records attached to job bundles.
+
+The algorithmic libraries may attach metadata such as cost hints and
+provenance (Section 4.4).  A :class:`Provenance` record captures who produced
+a bundle, when, from which inputs (content digests), so downstream tooling can
+reproduce or audit a submission without re-running the producer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, Mapping, Optional
+
+from .serialization import digest
+
+__all__ = ["Provenance", "build_provenance"]
+
+TOOL_NAME = "repro-quantum-middle-layer"
+TOOL_VERSION = "1.0.0"
+
+
+@dataclass
+class Provenance:
+    """Who/when/what-of record for a packaged artifact."""
+
+    tool: str = TOOL_NAME
+    version: str = TOOL_VERSION
+    created_at: str = ""
+    inputs_digest: str = ""
+    producer: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.created_at:
+            self.created_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "tool": self.tool,
+            "version": self.version,
+            "created_at": self.created_at,
+        }
+        if self.inputs_digest:
+            doc["inputs_digest"] = self.inputs_digest
+        if self.producer:
+            doc["producer"] = self.producer
+        if self.extra:
+            doc["extra"] = dict(self.extra)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Optional[Mapping[str, Any]]) -> Optional["Provenance"]:
+        if doc is None:
+            return None
+        return cls(
+            tool=doc.get("tool", TOOL_NAME),
+            version=doc.get("version", TOOL_VERSION),
+            created_at=doc.get("created_at", ""),
+            inputs_digest=doc.get("inputs_digest", ""),
+            producer=doc.get("producer", ""),
+            extra=dict(doc.get("extra", {})),
+        )
+
+
+def build_provenance(content: Any, *, producer: str = "", **extra: Any) -> Provenance:
+    """Create a provenance record whose digest covers *content*.
+
+    *content* is any JSON-serialisable object (typically the bundle body
+    without the provenance block itself, so the digest is stable).
+    """
+    return Provenance(inputs_digest=digest(content), producer=producer, extra=dict(extra))

@@ -1,0 +1,87 @@
+"""JSON serialization helpers shared by every descriptor.
+
+The middle layer's interchange format is plain JSON (the paper's
+proof-of-concept stores QDT.json, QOP.json, CTX.json and job.json).  This
+module centralises how Python objects become JSON text so that digests are
+stable and files are reproducible byte-for-byte:
+
+* :func:`canonical_dumps` — sorted keys, no insignificant whitespace drift.
+* :func:`digest` — SHA-256 of the canonical form, used for provenance.
+* :func:`save_json` / :func:`load_json` — file I/O with UTF-8 and a trailing
+  newline so artifacts diff cleanly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+__all__ = [
+    "JSONEncoder",
+    "canonical_dumps",
+    "pretty_dumps",
+    "digest",
+    "save_json",
+    "load_json",
+]
+
+PathLike = Union[str, Path]
+
+
+class JSONEncoder(json.JSONEncoder):
+    """JSON encoder aware of the value types used by descriptors.
+
+    * :class:`fractions.Fraction` is rendered as ``"p/q"`` (the paper writes
+      ``phase_scale`` as ``"1/1024"``).
+    * NumPy scalars and arrays are converted to native Python numbers/lists.
+    """
+
+    def default(self, o: Any) -> Any:  # noqa: D102 - documented on class
+        if isinstance(o, Fraction):
+            return f"{o.numerator}/{o.denominator}"
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if isinstance(o, (set, frozenset)):
+            return sorted(o)
+        if hasattr(o, "to_dict"):
+            return o.to_dict()
+        return super().default(o)
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Serialize *obj* deterministically (sorted keys, compact separators)."""
+    return json.dumps(obj, cls=JSONEncoder, sort_keys=True, separators=(",", ":"))
+
+
+def pretty_dumps(obj: Any) -> str:
+    """Serialize *obj* for humans (two-space indentation, stable key order)."""
+    return json.dumps(obj, cls=JSONEncoder, sort_keys=True, indent=2)
+
+
+def digest(obj: Any) -> str:
+    """Return the SHA-256 hex digest of the canonical JSON form of *obj*."""
+    return hashlib.sha256(canonical_dumps(obj).encode("utf-8")).hexdigest()
+
+
+def save_json(obj: Any, path: PathLike) -> Path:
+    """Write *obj* to *path* as pretty JSON and return the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(pretty_dumps(obj) + "\n", encoding="utf-8")
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON document from *path*."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

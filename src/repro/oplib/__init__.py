@@ -1,0 +1,68 @@
+"""Quantum algorithmic libraries: pure constructors of operator descriptors."""
+
+from .arithmetic import (
+    adder_operator,
+    comparator_operator,
+    modular_adder_operator,
+    modular_multiplier_operator,
+    register_adder_operator,
+)
+from .boolean import controlled_operator, cswap_operator, multiplexer_operator
+from .compose import bind_parameters, compose, invert, sandwich, unbound_parameters
+from .costmodel import attach_cost_hints, estimate_cost, register_cost_estimator
+from .ising import (
+    edges_to_dense_j,
+    ising_problem_from_graph,
+    ising_problem_operator,
+    qubo_problem_operator,
+)
+from .library import build_operator, measurement
+from .phase import controlled_phase_operator, qpe_operator, swap_test_operator
+from .qaoa import (
+    bind_qaoa_parameters,
+    cost_layer,
+    mixer_layer,
+    qaoa_parameter_names,
+    qaoa_sequence,
+)
+from .qft import inverse_qft_operator, qft_operator
+from .stateprep import prep_amplitude, prep_angle, prep_basis_state, prep_uniform
+
+__all__ = [
+    "build_operator",
+    "measurement",
+    "qft_operator",
+    "inverse_qft_operator",
+    "qaoa_sequence",
+    "cost_layer",
+    "mixer_layer",
+    "bind_qaoa_parameters",
+    "qaoa_parameter_names",
+    "ising_problem_operator",
+    "ising_problem_from_graph",
+    "qubo_problem_operator",
+    "edges_to_dense_j",
+    "prep_uniform",
+    "prep_basis_state",
+    "prep_amplitude",
+    "prep_angle",
+    "adder_operator",
+    "register_adder_operator",
+    "modular_adder_operator",
+    "modular_multiplier_operator",
+    "comparator_operator",
+    "controlled_operator",
+    "cswap_operator",
+    "multiplexer_operator",
+    "controlled_phase_operator",
+    "swap_test_operator",
+    "qpe_operator",
+    "compose",
+    "invert",
+    "sandwich",
+    "bind_parameters",
+    "unbound_parameters",
+    "estimate_cost",
+    "attach_cost_hints",
+    "register_cost_estimator",
+]

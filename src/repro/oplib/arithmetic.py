@@ -1,0 +1,148 @@
+"""Arithmetic operator descriptors (adders, modular arithmetic, comparison).
+
+These are the "commonly used transformations for arithmetic" of Section 4.4.
+Descriptors stay purely logical — e.g. an ``ADDER_TEMPLATE`` says "add the
+classical constant 13 to this integer register modulo 2^n" — and the gate
+backend realises constant adders with the Draper (QFT-based) construction.
+Operators without a registered lowering (modular multiplication, comparison)
+are still first-class descriptors: they validate, carry cost hints, and can
+be packaged; a backend that cannot realise them fails loudly with a
+capability error rather than silently guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import DescriptorError
+from ..core.qdt import EncodingKind, QuantumDataType
+from ..core.qod import QuantumOperatorDescriptor
+from .library import build_operator
+
+__all__ = [
+    "adder_operator",
+    "register_adder_operator",
+    "modular_adder_operator",
+    "modular_multiplier_operator",
+    "comparator_operator",
+]
+
+
+def _require_integer_like(qdt: QuantumDataType, what: str) -> None:
+    if qdt.encoding_kind not in (
+        EncodingKind.INT_REGISTER,
+        EncodingKind.UINT_REGISTER,
+        EncodingKind.PHASE_REGISTER,
+        EncodingKind.FIXED_POINT_REGISTER,
+    ):
+        raise DescriptorError(
+            f"{what} requires an integer-like register, got {qdt.encoding_kind.value}"
+        )
+
+
+def adder_operator(
+    qdt: QuantumDataType,
+    addend: int,
+    *,
+    name: Optional[str] = None,
+    modulo_power_of_two: bool = True,
+) -> QuantumOperatorDescriptor:
+    """In-place addition of a classical constant: ``|x> -> |x + a mod 2^n>``."""
+    _require_integer_like(qdt, "adder_operator")
+    return build_operator(
+        name or f"add_{addend}",
+        "ADDER_TEMPLATE",
+        qdt,
+        params={
+            "addend": int(addend),
+            "kind": "classical_constant",
+            "modulo_power_of_two": bool(modulo_power_of_two),
+        },
+    )
+
+
+def register_adder_operator(
+    target: QuantumDataType,
+    source: QuantumDataType,
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Register-register addition: ``|x>|y> -> |x>|y + x mod 2^n>``."""
+    _require_integer_like(target, "register_adder_operator")
+    _require_integer_like(source, "register_adder_operator")
+    return build_operator(
+        name or f"add_{source.id}_to_{target.id}",
+        "ADDER_TEMPLATE",
+        [source, target],
+        params={"kind": "register", "source": source.id, "target": target.id},
+    )
+
+
+def modular_adder_operator(
+    qdt: QuantumDataType,
+    addend: int,
+    modulus: int,
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Addition modulo a classical modulus (the Shor-algorithm primitive)."""
+    _require_integer_like(qdt, "modular_adder_operator")
+    if modulus < 2:
+        raise DescriptorError("modulus must be >= 2")
+    if modulus > qdt.num_states:
+        raise DescriptorError(
+            f"modulus {modulus} does not fit a width-{qdt.width} register"
+        )
+    return build_operator(
+        name or f"add_{addend}_mod_{modulus}",
+        "MODULAR_ADDER_TEMPLATE",
+        qdt,
+        params={"addend": int(addend) % int(modulus), "modulus": int(modulus)},
+    )
+
+
+def modular_multiplier_operator(
+    qdt: QuantumDataType,
+    multiplier: int,
+    modulus: int,
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Multiplication by a classical constant modulo *modulus*.
+
+    Requires ``gcd(multiplier, modulus) == 1`` so the operation is unitary.
+    """
+    import math
+
+    _require_integer_like(qdt, "modular_multiplier_operator")
+    if modulus < 2:
+        raise DescriptorError("modulus must be >= 2")
+    if math.gcd(int(multiplier), int(modulus)) != 1:
+        raise DescriptorError(
+            "multiplier and modulus must be coprime for the operation to be invertible"
+        )
+    return build_operator(
+        name or f"mul_{multiplier}_mod_{modulus}",
+        "MODULAR_MULT_TEMPLATE",
+        qdt,
+        params={"multiplier": int(multiplier) % int(modulus), "modulus": int(modulus)},
+    )
+
+
+def comparator_operator(
+    qdt: QuantumDataType,
+    flag: QuantumDataType,
+    threshold: int,
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Set a one-carrier flag register when the integer register is >= threshold."""
+    _require_integer_like(qdt, "comparator_operator")
+    if flag.width != 1:
+        raise DescriptorError("comparator flag register must have width 1")
+    return build_operator(
+        name or f"compare_ge_{threshold}",
+        "COMPARATOR_TEMPLATE",
+        [qdt, flag],
+        params={"threshold": int(threshold), "flag": flag.id, "predicate": "ge"},
+    )

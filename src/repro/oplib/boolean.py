@@ -1,0 +1,91 @@
+"""Boolean / conditional operator descriptors.
+
+The "controls, predicates, multiplexers, controlled-Swap" family of
+Section 4.4.  A controlled operator wraps another descriptor; the wrapped
+descriptor travels inside ``params`` so it survives JSON round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..core.errors import DescriptorError
+from ..core.qdt import QuantumDataType
+from ..core.qod import QuantumOperatorDescriptor
+from .library import build_operator
+
+__all__ = ["controlled_operator", "cswap_operator", "multiplexer_operator"]
+
+
+def controlled_operator(
+    control: QuantumDataType,
+    target_op: QuantumOperatorDescriptor,
+    target_qdts: Sequence[QuantumDataType],
+    *,
+    control_state: int = 1,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Apply *target_op* conditioned on a one-carrier control register."""
+    if control.width != 1:
+        raise DescriptorError("controlled_operator currently supports width-1 controls")
+    if not target_op.is_unitary:
+        raise DescriptorError("only unitary operators can be controlled")
+    return build_operator(
+        name or f"controlled_{target_op.name}",
+        "CONTROLLED_TEMPLATE",
+        [control, *target_qdts],
+        params={
+            "target_rep_kind": target_op.rep_kind,
+            "target": target_op.to_dict(),
+            "control": control.id,
+            "control_state": int(control_state),
+        },
+    )
+
+
+def cswap_operator(
+    control: QuantumDataType,
+    register_a: QuantumDataType,
+    register_b: QuantumDataType,
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Controlled-SWAP of two equal-width registers."""
+    if control.width != 1:
+        raise DescriptorError("cswap control register must have width 1")
+    if register_a.width != register_b.width:
+        raise DescriptorError("cswap registers must have equal width")
+    return build_operator(
+        name or f"cswap_{register_a.id}_{register_b.id}",
+        "CSWAP_TEMPLATE",
+        [control, register_a, register_b],
+        params={"control": control.id, "a": register_a.id, "b": register_b.id},
+    )
+
+
+def multiplexer_operator(
+    selector: QuantumDataType,
+    cases: Mapping[int, QuantumOperatorDescriptor],
+    target_qdts: Sequence[QuantumDataType],
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Select one of several operators according to a selector register value."""
+    if not cases:
+        raise DescriptorError("multiplexer needs at least one case")
+    for value, op in cases.items():
+        if not 0 <= int(value) < selector.num_states:
+            raise DescriptorError(
+                f"case selector {value} out of range for width-{selector.width} register"
+            )
+        if not op.is_unitary:
+            raise DescriptorError("multiplexer cases must be unitary operators")
+    return build_operator(
+        name or f"multiplexer_{selector.id}",
+        "MULTIPLEXER_TEMPLATE",
+        [selector, *target_qdts],
+        params={
+            "selector": selector.id,
+            "cases": {str(int(v)): op.to_dict() for v, op in cases.items()},
+        },
+    )

@@ -1,0 +1,100 @@
+"""Composition, inversion and late-binding helpers for operator sequences.
+
+"Composition is just a list of descriptors with utilities to check quantum
+data type compatibility and enforce no hidden measurement/reset"
+(Section 4.4).  The utilities here operate on
+:class:`~repro.core.qod.OperatorSequence` objects and never inspect backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..core.errors import CompatibilityError, DescriptorError
+from ..core.qdt import QuantumDataType
+from ..core.qod import OperatorSequence, QuantumOperatorDescriptor
+from ..core.validation import check_sequence
+
+__all__ = [
+    "compose",
+    "invert",
+    "bind_parameters",
+    "unbound_parameters",
+    "sandwich",
+]
+
+
+def compose(
+    *parts: OperatorSequence | QuantumOperatorDescriptor | Iterable[QuantumOperatorDescriptor],
+    qdts: Optional[Mapping[str, QuantumDataType]] = None,
+) -> OperatorSequence:
+    """Concatenate sequences/operators into one sequence, optionally validating.
+
+    Measurements may only appear in the final part — composing past a
+    measurement is the "hidden measurement" mistake the middle layer forbids.
+    """
+    sequence = OperatorSequence()
+    for index, part in enumerate(parts):
+        if isinstance(part, QuantumOperatorDescriptor):
+            ops = [part]
+        else:
+            ops = list(part)
+        if index > 0 and any(op.is_measurement for op in sequence):
+            raise CompatibilityError(
+                "cannot compose more operators after a measuring part"
+            )
+        sequence.extend(ops)
+    if qdts is not None:
+        check_sequence(sequence, qdts)
+    return sequence
+
+
+def invert(sequence: OperatorSequence) -> OperatorSequence:
+    """The inverse of a unitary sequence (reversed, each operator inverted)."""
+    return sequence.inverse()
+
+
+def sandwich(
+    outer: OperatorSequence, inner: OperatorSequence
+) -> OperatorSequence:
+    """``outer . inner . outer^{-1}`` — the conjugation pattern (e.g. QFT adders)."""
+    return compose(outer, inner, invert(outer))
+
+
+def unbound_parameters(sequence: OperatorSequence) -> Dict[str, Sequence[str]]:
+    """Map operator name -> required parameters that are still missing."""
+    missing: Dict[str, Sequence[str]] = {}
+    for op in sequence:
+        absent = op.missing_params()
+        if absent:
+            missing[op.name] = absent
+    return missing
+
+
+def bind_parameters(
+    sequence: OperatorSequence,
+    bindings: Mapping[str, Mapping[str, object]],
+    *,
+    strict: bool = True,
+) -> OperatorSequence:
+    """Late-bind parameters by operator name.
+
+    ``bindings`` maps operator names to ``{param: value}`` dictionaries.  With
+    ``strict=True`` every binding must refer to an operator present in the
+    sequence, and the result must have no missing required parameters left.
+    """
+    names = {op.name for op in sequence}
+    unknown = set(bindings) - names
+    if strict and unknown:
+        raise DescriptorError(f"bindings refer to unknown operators: {sorted(unknown)}")
+    bound = OperatorSequence(
+        op.with_params(**bindings[op.name]) if op.name in bindings else op
+        for op in sequence
+    )
+    if strict:
+        still_missing = unbound_parameters(bound)
+        if still_missing:
+            raise DescriptorError(
+                f"parameters still unbound after binding: {still_missing}"
+            )
+    return bound

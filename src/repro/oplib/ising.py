@@ -1,0 +1,160 @@
+"""Ising / QUBO problem descriptors for the annealing path.
+
+The annealer backend of the proof of concept consumes a single
+``ISING_PROBLEM`` operator descriptor declaring the energy
+``E(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j`` over an ``ISING_SPIN``
+register (Fig. 3 of the paper).  The constructors here accept either an
+explicit ``(h, J)`` pair, a weighted edge list, or a NetworkX graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import DescriptorError
+from ..core.qdt import QuantumDataType
+from ..core.qod import QuantumOperatorDescriptor
+from ..core.result_schema import ResultSchema
+from .library import build_operator
+
+__all__ = [
+    "ising_problem_operator",
+    "ising_problem_from_graph",
+    "qubo_problem_operator",
+    "edges_to_dense_j",
+]
+
+Edge = Tuple[int, int]
+
+
+def edges_to_dense_j(
+    width: int, edges: Sequence[Edge], weights: Optional[Sequence[float]] = None
+) -> List[List[float]]:
+    """Dense symmetric ``J`` matrix from an edge list (upper triangle filled)."""
+    J = np.zeros((width, width), dtype=float)
+    weights = [1.0] * len(edges) if weights is None else list(weights)
+    if len(weights) != len(edges):
+        raise DescriptorError("weights must match edges one-to-one")
+    for (i, j), w in zip(edges, weights):
+        i, j = int(i), int(j)
+        if i == j or not (0 <= i < width and 0 <= j < width):
+            raise DescriptorError(f"edge ({i}, {j}) invalid for width {width}")
+        a, b = (i, j) if i < j else (j, i)
+        J[a, b] += float(w)
+    return J.tolist()
+
+
+def ising_problem_operator(
+    qdt: QuantumDataType,
+    *,
+    h: Optional[Sequence[float]] = None,
+    J: Optional[Sequence[Sequence[float]]] = None,
+    edges: Optional[Sequence[Edge]] = None,
+    weights: Optional[Sequence[float]] = None,
+    constant: float = 0.0,
+    name: str = "ising_problem",
+    attach_result_schema: bool = True,
+) -> QuantumOperatorDescriptor:
+    """An ``ISING_PROBLEM`` descriptor over the spin register *qdt*.
+
+    Either a dense ``J`` matrix or an ``edges`` (+ optional ``weights``) list
+    must be provided; both are carried in ``params`` so gate and annealing
+    backends can pick whichever form suits them.
+    """
+    width = qdt.width
+    h_list = [0.0] * width if h is None else [float(x) for x in h]
+    if len(h_list) != width:
+        raise DescriptorError(f"|h| = {len(h_list)} does not match register width {width}")
+
+    if J is None and edges is None:
+        raise DescriptorError("ising_problem_operator needs either J or edges")
+    if edges is None:
+        J_arr = np.asarray(J, dtype=float)
+        if J_arr.shape != (width, width):
+            raise DescriptorError(f"J must be a {width}x{width} matrix")
+        if np.allclose(J_arr, J_arr.T):
+            # A symmetric matrix (the paper's Fig. 3 form) lists each coupling
+            # twice; the upper triangle alone carries the J_{i<j} coefficients.
+            sym = np.triu(J_arr, 1)
+        else:
+            sym = np.triu(J_arr, 1) + np.tril(J_arr, -1).T
+        edge_list = [
+            (int(i), int(j)) for i in range(width) for j in range(i + 1, width) if sym[i, j] != 0
+        ]
+        weight_list = [float(sym[i, j]) for (i, j) in edge_list]
+        J_dense = sym.tolist()
+    else:
+        edge_list = [(int(i), int(j)) for i, j in edges]
+        weight_list = [1.0] * len(edge_list) if weights is None else [float(w) for w in weights]
+        J_dense = edges_to_dense_j(width, edge_list, weight_list)
+
+    schema = ResultSchema.for_register(qdt) if attach_result_schema else None
+    return build_operator(
+        name,
+        "ISING_PROBLEM",
+        qdt,
+        params={
+            "h": h_list,
+            "J": J_dense,
+            "edges": [[i, j] for i, j in edge_list],
+            "weights": weight_list,
+            "constant": float(constant),
+        },
+        result_schema=schema,
+    )
+
+
+def ising_problem_from_graph(
+    qdt: QuantumDataType,
+    graph: nx.Graph,
+    *,
+    weight_attribute: str = "weight",
+    default_weight: float = 1.0,
+    h: Optional[Sequence[float]] = None,
+    name: str = "ising_problem",
+) -> QuantumOperatorDescriptor:
+    """Build an Ising problem descriptor from a NetworkX graph.
+
+    Graph nodes must be integers in ``[0, qdt.width)``; edge weights become
+    the couplings ``J_ij``.
+    """
+    edges: List[Edge] = []
+    weights: List[float] = []
+    for u, v, data in graph.edges(data=True):
+        edges.append((int(u), int(v)))
+        weights.append(float(data.get(weight_attribute, default_weight)))
+    return ising_problem_operator(
+        qdt, h=h, edges=edges, weights=weights, name=name
+    )
+
+
+def qubo_problem_operator(
+    qdt: QuantumDataType,
+    Q: Mapping[Tuple[int, int], float] | Sequence[Sequence[float]],
+    *,
+    constant: float = 0.0,
+    name: str = "qubo_problem",
+) -> QuantumOperatorDescriptor:
+    """A ``QUBO_PROBLEM`` descriptor (binary variables, dictionary or matrix Q)."""
+    width = qdt.width
+    if isinstance(Q, Mapping):
+        dense = np.zeros((width, width), dtype=float)
+        for (i, j), value in Q.items():
+            i, j = int(i), int(j)
+            if not (0 <= i < width and 0 <= j < width):
+                raise DescriptorError(f"QUBO index ({i}, {j}) out of range for width {width}")
+            dense[i, j] += float(value)
+    else:
+        dense = np.asarray(Q, dtype=float)
+        if dense.shape != (width, width):
+            raise DescriptorError(f"Q must be a {width}x{width} matrix")
+    return build_operator(
+        name,
+        "QUBO_PROBLEM",
+        qdt,
+        params={"Q": dense.tolist(), "constant": float(constant)},
+        result_schema=ResultSchema.for_register(qdt),
+    )

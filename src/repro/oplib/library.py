@@ -1,0 +1,87 @@
+"""Shared helpers for the algorithmic libraries.
+
+Every concrete library module (QFT, QAOA, arithmetic, ...) goes through
+:func:`build_operator`, which is the paper's "pure constructor with JSON
+schema and semantic checks, optional cost-hint estimators, and helpers to
+attach result schemas" in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from ..core.cost import CostHint
+from ..core.qdt import QuantumDataType
+from ..core.qod import QuantumOperatorDescriptor
+from ..core.result_schema import ResultSchema
+from .costmodel import estimate_cost
+
+__all__ = ["build_operator", "measurement"]
+
+
+def build_operator(
+    name: str,
+    rep_kind: str,
+    qdt: Union[QuantumDataType, Sequence[QuantumDataType]],
+    *,
+    params: Optional[Mapping[str, Any]] = None,
+    codomain: Union[QuantumDataType, Sequence[QuantumDataType], None] = None,
+    cost_hint: Optional[CostHint] = None,
+    result_schema: Optional[ResultSchema] = None,
+    estimate: bool = True,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> QuantumOperatorDescriptor:
+    """Construct, validate and (optionally) cost-estimate an operator.
+
+    Parameters
+    ----------
+    qdt:
+        The domain register descriptor(s).  Descriptors (not ids) are taken so
+        the constructor can run width/encoding checks and cost estimation.
+    estimate:
+        When no explicit *cost_hint* is given, ask the cost model for one.
+    """
+    domain = [qdt] if isinstance(qdt, QuantumDataType) else list(qdt)
+    codomain_list = (
+        domain
+        if codomain is None
+        else ([codomain] if isinstance(codomain, QuantumDataType) else list(codomain))
+    )
+    op = QuantumOperatorDescriptor(
+        name=name,
+        rep_kind=rep_kind,
+        domain_qdt=[d.id for d in domain],
+        codomain_qdt=[c.id for c in codomain_list],
+        params=dict(params or {}),
+        cost_hint=cost_hint,
+        result_schema=result_schema,
+        metadata=dict(metadata or {}),
+    )
+    qdt_map: Dict[str, QuantumDataType] = {d.id: d for d in domain + codomain_list}
+    if op.cost_hint is None and estimate:
+        hint = estimate_cost(op, qdt_map)
+        if hint is not None:
+            op.cost_hint = hint
+    op.validate(qdt_map)
+    return op
+
+
+def measurement(
+    qdt: QuantumDataType,
+    *,
+    name: Optional[str] = None,
+    basis: str = "Z",
+    result_schema: Optional[ResultSchema] = None,
+) -> QuantumOperatorDescriptor:
+    """An explicit MEASUREMENT operator with a fully specified result schema.
+
+    The middle layer forbids implicit measurement; this helper is how every
+    library terminates a gate-path sequence.
+    """
+    schema = result_schema or ResultSchema.for_register(qdt, basis=basis)
+    return build_operator(
+        name or f"measure_{qdt.id}",
+        "MEASUREMENT",
+        qdt,
+        result_schema=schema,
+    )

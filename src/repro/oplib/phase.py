@@ -1,0 +1,101 @@
+"""Phase / measurement gadget descriptors: controlled phase, SWAP test, QPE.
+
+The "phase/measurement" family of Section 4.4: controlled-phase and kickback
+gadgets, the SWAP test, and quantum phase estimation scaffolding that combines
+a phase register with a unitary described by another operator descriptor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.errors import DescriptorError
+from ..core.qdt import EncodingKind, QuantumDataType
+from ..core.qod import QuantumOperatorDescriptor
+from ..core.result_schema import ResultSchema
+from .library import build_operator
+
+__all__ = ["controlled_phase_operator", "swap_test_operator", "qpe_operator"]
+
+
+def controlled_phase_operator(
+    control: QuantumDataType,
+    target: QuantumDataType,
+    angle: float,
+    *,
+    control_index: int = 0,
+    target_index: int = 0,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """A single controlled-phase (kickback) gadget between two carriers."""
+    if not 0 <= control_index < control.width:
+        raise DescriptorError("control_index out of range")
+    if not 0 <= target_index < target.width:
+        raise DescriptorError("target_index out of range")
+    registers = [control] if control.id == target.id else [control, target]
+    return build_operator(
+        name or "controlled_phase",
+        "CONTROLLED_PHASE",
+        registers,
+        params={
+            "angle": float(angle),
+            "control": f"{control.id}[{control_index}]",
+            "target": f"{target.id}[{target_index}]",
+        },
+    )
+
+
+def swap_test_operator(
+    register_a: QuantumDataType,
+    register_b: QuantumDataType,
+    ancilla: QuantumDataType,
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """SWAP test estimating ``|<a|b>|^2`` onto a one-carrier ancilla.
+
+    The ancilla's result schema is attached so that the overlap estimate
+    ``P(ancilla=0) = (1 + |<a|b>|^2) / 2`` can be decoded explicitly.
+    """
+    if ancilla.width != 1:
+        raise DescriptorError("swap test ancilla must have width 1")
+    if register_a.width != register_b.width:
+        raise DescriptorError("swap test registers must have equal width")
+    return build_operator(
+        name or "swap_test",
+        "SWAP_TEST",
+        [ancilla, register_a, register_b],
+        params={"ancilla": ancilla.id, "a": register_a.id, "b": register_b.id},
+        result_schema=ResultSchema.for_register(ancilla),
+    )
+
+
+def qpe_operator(
+    phase_register: QuantumDataType,
+    target_register: QuantumDataType,
+    unitary: QuantumOperatorDescriptor,
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Quantum phase estimation scaffolding.
+
+    The estimated eigenphase lands in *phase_register* (which should be a
+    ``PHASE_REGISTER``); the unitary whose eigenphase is estimated is carried
+    as a nested operator descriptor.
+    """
+    if phase_register.encoding_kind is not EncodingKind.PHASE_REGISTER:
+        raise DescriptorError("QPE output register should be a PHASE_REGISTER")
+    if not unitary.is_unitary:
+        raise DescriptorError("QPE requires a unitary target operator")
+    return build_operator(
+        name or "qpe",
+        "QPE_TEMPLATE",
+        [phase_register, target_register],
+        params={
+            "unitary": unitary.to_dict(),
+            "phase_register": phase_register.id,
+            "target_register": target_register.id,
+        },
+        result_schema=ResultSchema.for_register(phase_register),
+    )

@@ -1,0 +1,191 @@
+"""QAOA descriptor sequences for the gate path of the proof of concept.
+
+For the gate backend, the algorithmic library emits "a QAOA stack of operator
+descriptors ... an operator for the quantum state preparation, a cost layer
+parameterized, a mixer layer, and a final measurement" (Section 5, Fig. 2).
+:func:`qaoa_sequence` builds exactly that stack:
+
+``PREP_UNIFORM -> (ISING_COST_PHASE(gamma_k) -> MIXER_RX(beta_k)) * p -> MEASUREMENT``
+
+Angles may be left unbound (``None``) and bound later with
+:func:`bind_qaoa_parameters`, which is the middle layer's late-binding hook.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import DescriptorError
+from ..core.qdt import QuantumDataType
+from ..core.qod import OperatorSequence, QuantumOperatorDescriptor
+from ..core.result_schema import ResultSchema
+from .library import build_operator, measurement
+from .stateprep import prep_uniform
+
+__all__ = [
+    "cost_layer",
+    "mixer_layer",
+    "qaoa_sequence",
+    "bind_qaoa_parameters",
+    "qaoa_parameter_names",
+]
+
+Edge = Tuple[int, int]
+
+
+def cost_layer(
+    qdt: QuantumDataType,
+    edges: Sequence[Edge],
+    *,
+    weights: Optional[Sequence[float]] = None,
+    h: Optional[Sequence[float]] = None,
+    gamma: Optional[float] = None,
+    layer: int = 0,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """One ``ISING_COST_PHASE`` layer: ``exp(-i * gamma * H_C)``.
+
+    ``gamma=None`` leaves the angle unbound for late binding.
+    """
+    width = qdt.width
+    edge_list = [[int(i), int(j)] for i, j in edges]
+    weight_list = [1.0] * len(edge_list) if weights is None else [float(w) for w in weights]
+    if len(weight_list) != len(edge_list):
+        raise DescriptorError("weights must match edges one-to-one")
+    h_list = [0.0] * width if h is None else [float(x) for x in h]
+    if len(h_list) != width:
+        raise DescriptorError(f"|h| = {len(h_list)} does not match register width {width}")
+    params = {
+        "edges": edge_list,
+        "weights": weight_list,
+        "h": h_list,
+        "layer": int(layer),
+    }
+    # Unbound angles are simply omitted; validation requires the key, so only
+    # bound layers validate cleanly (bind_qaoa_parameters fills the rest).
+    if gamma is not None:
+        params["gamma"] = float(gamma)
+    op = QuantumOperatorDescriptor(
+        name=name or f"cost_layer_{layer}",
+        rep_kind="ISING_COST_PHASE",
+        domain_qdt=qdt.id,
+        params=params,
+    )
+    if gamma is not None:
+        return build_operator(
+            op.name, op.rep_kind, qdt, params=params
+        )
+    return op
+
+
+def mixer_layer(
+    qdt: QuantumDataType,
+    *,
+    beta: Optional[float] = None,
+    layer: int = 0,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """One ``MIXER_RX`` layer: ``RX(2*beta)`` on every carrier."""
+    params = {"layer": int(layer)}
+    if beta is not None:
+        params["beta"] = float(beta)
+        return build_operator(
+            name or f"mixer_layer_{layer}", "MIXER_RX", qdt, params=params
+        )
+    return QuantumOperatorDescriptor(
+        name=name or f"mixer_layer_{layer}",
+        rep_kind="MIXER_RX",
+        domain_qdt=qdt.id,
+        params=params,
+    )
+
+
+def qaoa_sequence(
+    qdt: QuantumDataType,
+    edges: Sequence[Edge],
+    *,
+    weights: Optional[Sequence[float]] = None,
+    h: Optional[Sequence[float]] = None,
+    gammas: Optional[Sequence[float]] = None,
+    betas: Optional[Sequence[float]] = None,
+    reps: Optional[int] = None,
+    include_measurement: bool = True,
+    result_schema: Optional[ResultSchema] = None,
+) -> OperatorSequence:
+    """The full QAOA operator-descriptor stack for a problem graph.
+
+    Parameters
+    ----------
+    gammas / betas:
+        Per-layer angles.  ``None`` leaves every layer unbound (late binding);
+        otherwise both must have length *reps*.
+    reps:
+        Number of QAOA layers ``p``; inferred from the angle lists when given.
+    """
+    if reps is None:
+        if gammas is not None:
+            reps = len(gammas)
+        elif betas is not None:
+            reps = len(betas)
+        else:
+            reps = 1
+    if reps < 1:
+        raise DescriptorError("QAOA needs at least one layer")
+    if gammas is not None and len(gammas) != reps:
+        raise DescriptorError(f"expected {reps} gammas, got {len(gammas)}")
+    if betas is not None and len(betas) != reps:
+        raise DescriptorError(f"expected {reps} betas, got {len(betas)}")
+
+    sequence = OperatorSequence()
+    sequence.append(prep_uniform(qdt))
+    for layer in range(reps):
+        gamma = None if gammas is None else float(gammas[layer])
+        beta = None if betas is None else float(betas[layer])
+        sequence.append(
+            cost_layer(qdt, edges, weights=weights, h=h, gamma=gamma, layer=layer)
+        )
+        sequence.append(mixer_layer(qdt, beta=beta, layer=layer))
+    if include_measurement:
+        sequence.append(
+            measurement(qdt, result_schema=result_schema)
+        )
+    return sequence
+
+
+def qaoa_parameter_names(sequence: OperatorSequence) -> List[str]:
+    """Names of the unbound QAOA angles, in execution order (for optimisers)."""
+    names: List[str] = []
+    for op in sequence:
+        if op.rep_kind == "ISING_COST_PHASE" and "gamma" not in op.params:
+            names.append(f"gamma_{op.params.get('layer', 0)}")
+        if op.rep_kind == "MIXER_RX" and "beta" not in op.params:
+            names.append(f"beta_{op.params.get('layer', 0)}")
+    return names
+
+
+def bind_qaoa_parameters(
+    sequence: OperatorSequence,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+) -> OperatorSequence:
+    """Return a copy of *sequence* with per-layer angles bound.
+
+    This is the late-binding step: the intent artifacts (problem graph,
+    register typing, measurement schema) are untouched; only the numeric
+    angles are filled in, typically inside a classical optimisation loop.
+    """
+    bound: List[QuantumOperatorDescriptor] = []
+    for op in sequence:
+        if op.rep_kind == "ISING_COST_PHASE":
+            layer = int(op.params.get("layer", 0))
+            if layer >= len(gammas):
+                raise DescriptorError(f"no gamma provided for layer {layer}")
+            bound.append(op.with_params(gamma=float(gammas[layer])))
+        elif op.rep_kind == "MIXER_RX":
+            layer = int(op.params.get("layer", 0))
+            if layer >= len(betas):
+                raise DescriptorError(f"no beta provided for layer {layer}")
+            bound.append(op.with_params(beta=float(betas[layer])))
+        else:
+            bound.append(op)
+    return OperatorSequence(bound)

@@ -1,0 +1,78 @@
+"""Quantum Fourier Transform descriptors (the paper's running example).
+
+The QFT library emits a ``QFT_TEMPLATE`` operator descriptor — Listing 3 of
+the paper — over a phase register.  It never touches gates: the realization
+(which controlled-phase ladder, whether to reorder wires) is decided by the
+backend from the context, which is exactly the "defer circuit generation
+until the backend parameters are known" point of Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.qdt import QuantumDataType
+from ..core.qod import QuantumOperatorDescriptor
+from ..core.result_schema import ResultSchema
+from .library import build_operator
+
+__all__ = ["qft_operator", "inverse_qft_operator"]
+
+
+def qft_operator(
+    qdt: QuantumDataType,
+    *,
+    name: str = "QFT",
+    approx_degree: int = 0,
+    do_swaps: bool = True,
+    inverse: bool = False,
+    attach_result_schema: bool = True,
+) -> QuantumOperatorDescriptor:
+    """A QFT operator descriptor acting in place on *qdt*.
+
+    Parameters
+    ----------
+    approx_degree:
+        Number of smallest-angle controlled-phase layers to drop (0 = exact).
+    do_swaps:
+        Whether the final wire-reversal swaps are requested, so that the
+        output ordering matches the conventional FFT output ordering.
+    inverse:
+        Select the inverse transform.
+    attach_result_schema:
+        Attach the default Z-basis result schema for *qdt* so a downstream
+        measurement knows how to decode (Listing 3 carries one).
+    """
+    if approx_degree < 0 or approx_degree >= qdt.width:
+        raise ValueError("approx_degree must lie in [0, width)")
+    schema: Optional[ResultSchema] = (
+        ResultSchema.for_register(qdt) if attach_result_schema else None
+    )
+    return build_operator(
+        name,
+        "QFT_TEMPLATE",
+        qdt,
+        params={
+            "approx_degree": int(approx_degree),
+            "do_swaps": bool(do_swaps),
+            "inverse": bool(inverse),
+        },
+        result_schema=schema,
+    )
+
+
+def inverse_qft_operator(
+    qdt: QuantumDataType,
+    *,
+    name: str = "IQFT",
+    approx_degree: int = 0,
+    do_swaps: bool = True,
+) -> QuantumOperatorDescriptor:
+    """The inverse QFT (same template with ``inverse=True``)."""
+    return qft_operator(
+        qdt,
+        name=name,
+        approx_degree=approx_degree,
+        do_swaps=do_swaps,
+        inverse=True,
+    )

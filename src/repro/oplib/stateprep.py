@@ -1,0 +1,95 @@
+"""Quantum state preparation descriptors.
+
+Covers the preparation primitives Section 4.4 lists: uniform superposition
+(Hadamard on every carrier), basis-state preparation of a typed classical
+value, amplitude encoding of a normalised vector, and angle encoding (one RY
+rotation per carrier).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import DescriptorError
+from ..core.qdt import QuantumDataType
+from ..core.qod import QuantumOperatorDescriptor
+from .library import build_operator
+
+__all__ = ["prep_uniform", "prep_basis_state", "prep_amplitude", "prep_angle"]
+
+
+def prep_uniform(qdt: QuantumDataType, *, name: Optional[str] = None) -> QuantumOperatorDescriptor:
+    """Uniform superposition over every basis state of *qdt*."""
+    return build_operator(name or f"prep_uniform_{qdt.id}", "PREP_UNIFORM", qdt)
+
+
+def prep_basis_state(
+    qdt: QuantumDataType, value: Any, *, name: Optional[str] = None
+) -> QuantumOperatorDescriptor:
+    """Prepare the basis state encoding the typed classical *value*.
+
+    The value is validated against the register's encoding at construction
+    time (e.g. an out-of-range integer or a non-representable phase fails
+    here, not at the backend).
+    """
+    bits = qdt.encode_value(value)  # raises DescriptorError when not encodable
+    return build_operator(
+        name or f"prep_basis_{qdt.id}",
+        "PREP_BASIS_STATE",
+        qdt,
+        params={"value": value if not isinstance(value, tuple) else list(value), "bits": bits},
+    )
+
+
+def prep_amplitude(
+    qdt: QuantumDataType,
+    amplitudes: Sequence[complex] | Sequence[float],
+    *,
+    normalize: bool = True,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Amplitude-encode a classical vector of length ``2**width``.
+
+    Complex amplitudes are carried as ``[re, im]`` pairs so the descriptor
+    stays valid JSON.
+    """
+    vector = np.asarray(amplitudes, dtype=np.complex128)
+    if vector.shape != (qdt.num_states,):
+        raise DescriptorError(
+            f"amplitude vector must have length {qdt.num_states}, got {vector.shape}"
+        )
+    norm = float(np.linalg.norm(vector))
+    if norm == 0:
+        raise DescriptorError("cannot amplitude-encode the zero vector")
+    if normalize:
+        vector = vector / norm
+    elif abs(norm - 1.0) > 1e-9:
+        raise DescriptorError("amplitudes must be normalised (or pass normalize=True)")
+    return build_operator(
+        name or f"prep_amplitude_{qdt.id}",
+        "PREP_AMPLITUDE",
+        qdt,
+        params={"amplitudes": [[float(a.real), float(a.imag)] for a in vector]},
+    )
+
+
+def prep_angle(
+    qdt: QuantumDataType,
+    angles: Sequence[float],
+    *,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """Angle-encode one real feature per carrier: ``RY(angle_i)`` on carrier i."""
+    if len(angles) != qdt.width:
+        raise DescriptorError(
+            f"angle encoding needs {qdt.width} angles, got {len(angles)}"
+        )
+    return build_operator(
+        name or f"prep_angle_{qdt.id}",
+        "PREP_ANGLE",
+        qdt,
+        params={"angles": [float(a) for a in angles]},
+    )

@@ -1,0 +1,23 @@
+"""Problem library: graph generators, Max-Cut instance and classical baselines."""
+
+from .graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+    weighted_from_edges,
+)
+from .maxcut import MaxCutProblem
+
+__all__ = [
+    "MaxCutProblem",
+    "cycle_graph",
+    "complete_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "random_graph",
+    "weighted_from_edges",
+]

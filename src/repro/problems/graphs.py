@@ -1,0 +1,89 @@
+"""Graph generators used by the optimisation problem library and benchmarks.
+
+All generators return NetworkX graphs whose nodes are the integers
+``0..n-1`` (the carrier indices of the spin register) and whose edges carry a
+``weight`` attribute, so they can be fed directly to
+:func:`repro.oplib.ising.ising_problem_from_graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import DescriptorError
+
+__all__ = [
+    "cycle_graph",
+    "complete_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "random_graph",
+    "weighted_from_edges",
+]
+
+
+def _with_unit_weights(graph: nx.Graph) -> nx.Graph:
+    for _, _, data in graph.edges(data=True):
+        data.setdefault("weight", 1.0)
+    return graph
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """The n-node cycle with unit weights (the paper's proof-of-concept graph is n=4)."""
+    if n < 3:
+        raise DescriptorError("a cycle needs at least 3 nodes")
+    return _with_unit_weights(nx.cycle_graph(n))
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """The complete graph K_n with unit weights."""
+    return _with_unit_weights(nx.complete_graph(n))
+
+
+def path_graph(n: int) -> nx.Graph:
+    """The n-node path with unit weights."""
+    return _with_unit_weights(nx.path_graph(n))
+
+
+def star_graph(n: int) -> nx.Graph:
+    """A star with one hub and ``n - 1`` leaves, unit weights."""
+    return _with_unit_weights(nx.star_graph(n - 1))
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A rows x cols grid relabelled to integer nodes, unit weights."""
+    grid = nx.grid_2d_graph(rows, cols)
+    relabelled = nx.convert_node_labels_to_integers(grid, ordering="sorted")
+    return _with_unit_weights(relabelled)
+
+
+def random_graph(
+    n: int,
+    edge_probability: float = 0.5,
+    *,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    weight_range: Tuple[float, float] = (0.5, 1.5),
+) -> nx.Graph:
+    """Erdos-Renyi graph, optionally with uniform random edge weights."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise DescriptorError("edge_probability must lie in [0, 1]")
+    graph = nx.gnp_random_graph(n, edge_probability, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _, _, data in graph.edges(data=True):
+        data["weight"] = (
+            float(rng.uniform(*weight_range)) if weighted else 1.0
+        )
+    return graph
+
+
+def weighted_from_edges(edges: Sequence[Tuple[int, int, float]]) -> nx.Graph:
+    """Build a graph from explicit ``(u, v, weight)`` triples."""
+    graph = nx.Graph()
+    for u, v, w in edges:
+        graph.add_edge(int(u), int(v), weight=float(w))
+    return graph

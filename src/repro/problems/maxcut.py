@@ -1,0 +1,200 @@
+"""Max-Cut: the proof-of-concept problem of the paper, plus classical baselines.
+
+For an undirected weighted graph ``G = (V, E, w)`` the Max-Cut asks for the
+partition ``V = S u S̄`` maximising the weight of edges crossing the cut.
+:class:`MaxCutProblem` holds the graph, evaluates cuts, produces the Ising
+formulation the quantum paths consume, and offers the classical baselines the
+benchmarks compare against (exhaustive optimum, greedy local search, spectral
+partitioning, random assignment).
+
+Ising mapping
+-------------
+With spins ``s_i in {-1, +1}`` (``s_i = +1`` meaning node i in S) the cut is
+``cut(s) = sum_{(i,j) in E} w_ij (1 - s_i s_j) / 2``.  Maximising the cut is
+therefore minimising the Ising energy ``E(s) = sum w_ij s_i s_j`` with zero
+fields, and ``cut = (W_total - E) / 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import DescriptorError
+from .graphs import cycle_graph
+
+__all__ = ["MaxCutProblem", "Assignment"]
+
+# A cut assignment: per-node binary labels (0/1), index = node id.
+Assignment = Tuple[int, ...]
+
+
+@dataclass
+class MaxCutProblem:
+    """A Max-Cut instance over nodes ``0..n-1``."""
+
+    graph: nx.Graph
+
+    def __post_init__(self) -> None:
+        nodes = sorted(self.graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise DescriptorError("MaxCutProblem requires integer nodes 0..n-1")
+        for _, _, data in self.graph.edges(data=True):
+            data.setdefault("weight", 1.0)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def cycle(cls, n: int = 4) -> "MaxCutProblem":
+        """The unit-weight n-cycle (n=4 is the paper's instance)."""
+        return cls(cycle_graph(n))
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]] , weights: Optional[Sequence[float]] = None) -> "MaxCutProblem":
+        graph = nx.Graph()
+        edges = list(edges)
+        weights = [1.0] * len(edges) if weights is None else list(weights)
+        for (u, v), w in zip(edges, weights):
+            graph.add_edge(int(u), int(v), weight=float(w))
+        return cls(graph)
+
+    # -- basic structure --------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(int(u), int(v)) for u, v in self.graph.edges]
+
+    @property
+    def weights(self) -> List[float]:
+        return [float(d["weight"]) for _, _, d in self.graph.edges(data=True)]
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(self.weights))
+
+    # -- cut evaluation ------------------------------------------------------------
+    def _as_labels(self, assignment: Union[str, Sequence[int]]) -> np.ndarray:
+        if isinstance(assignment, str):
+            labels = np.array([int(c) for c in assignment], dtype=int)
+        else:
+            labels = np.asarray(list(assignment), dtype=int)
+        if labels.shape != (self.num_nodes,):
+            raise DescriptorError(
+                f"assignment must label all {self.num_nodes} nodes, got {labels.shape}"
+            )
+        if not np.all(np.isin(labels, (0, 1))):
+            # Accept spin labels too.
+            if np.all(np.isin(labels, (-1, 1))):
+                labels = (1 - labels) // 2
+            else:
+                raise DescriptorError("assignment labels must be 0/1 or +1/-1")
+        return labels
+
+    def cut_value(self, assignment: Union[str, Sequence[int]]) -> float:
+        """Total weight of edges crossing the cut described by *assignment*."""
+        labels = self._as_labels(assignment)
+        return float(
+            sum(
+                w
+                for (u, v), w in zip(self.edges, self.weights)
+                if labels[u] != labels[v]
+            )
+        )
+
+    def cut_from_energy(self, energy: float) -> float:
+        """Convert an Ising energy (zero fields, J = w) into a cut value."""
+        return (self.total_weight - float(energy)) / 2.0
+
+    def energy_from_cut(self, cut: float) -> float:
+        """Inverse of :meth:`cut_from_energy`."""
+        return self.total_weight - 2.0 * float(cut)
+
+    # -- Ising formulation ------------------------------------------------------------
+    def to_ising(self) -> Tuple[List[float], List[Tuple[int, int]], List[float], float]:
+        """``(h, edges, weights, constant)`` of the minimisation-form Ising problem."""
+        return [0.0] * self.num_nodes, self.edges, self.weights, 0.0
+
+    # -- classical baselines -------------------------------------------------------------
+    def brute_force(self) -> Tuple[float, List[Assignment]]:
+        """Exhaustive optimum: maximum cut value and every optimal assignment.
+
+        Limited to 22 nodes; assignments are reported with node 0's label
+        fixed only by enumeration (both complements appear).
+        """
+        n = self.num_nodes
+        if n > 22:
+            raise DescriptorError("brute force limited to 22 nodes")
+        best_value = -1.0
+        best: List[Assignment] = []
+        for mask in range(1 << n):
+            labels = tuple((mask >> i) & 1 for i in range(n))
+            value = self.cut_value(labels)
+            if value > best_value + 1e-12:
+                best_value = value
+                best = [labels]
+            elif abs(value - best_value) <= 1e-12:
+                best.append(labels)
+        return best_value, best
+
+    def greedy(self, *, seed: Optional[int] = None, restarts: int = 1) -> Tuple[float, Assignment]:
+        """Greedy local search: flip any node that improves the cut, repeat."""
+        rng = np.random.default_rng(seed)
+        best_value, best_labels = -1.0, None
+        adjacency = {
+            node: [(nbr, float(self.graph[node][nbr]["weight"])) for nbr in self.graph[node]]
+            for node in self.graph.nodes
+        }
+        for _ in range(max(1, restarts)):
+            labels = rng.integers(0, 2, size=self.num_nodes)
+            improved = True
+            while improved:
+                improved = False
+                for node in range(self.num_nodes):
+                    gain = sum(
+                        w * (1 if labels[nbr] == labels[node] else -1)
+                        for nbr, w in adjacency[node]
+                    )
+                    if gain > 1e-12:
+                        labels[node] ^= 1
+                        improved = True
+            value = self.cut_value(labels)
+            if value > best_value:
+                best_value, best_labels = value, tuple(int(x) for x in labels)
+        return best_value, best_labels
+
+    def spectral(self) -> Tuple[float, Assignment]:
+        """Spectral partition: sign of the largest Laplacian eigenvector entry."""
+        laplacian = nx.laplacian_matrix(self.graph, weight="weight").toarray().astype(float)
+        eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+        leading = eigenvectors[:, -1]
+        labels = tuple(int(x >= 0) for x in leading)
+        return self.cut_value(labels), labels
+
+    def random_assignment(self, *, seed: Optional[int] = None) -> Tuple[float, Assignment]:
+        """Uniformly random cut (the 0.5-approximation baseline)."""
+        rng = np.random.default_rng(seed)
+        labels = tuple(int(x) for x in rng.integers(0, 2, size=self.num_nodes))
+        return self.cut_value(labels), labels
+
+    def expected_cut_from_distribution(self, distribution: Mapping[str, float]) -> float:
+        """Probability-weighted average cut of a bitstring distribution.
+
+        Keys are bitstrings whose character ``i`` labels node ``i`` — exactly
+        what the middle layer's decoding produces for the Max-Cut register.
+        """
+        total = float(sum(distribution.values()))
+        if total <= 0:
+            raise DescriptorError("distribution has no probability mass")
+        return sum(
+            self.cut_value(bits) * weight for bits, weight in distribution.items()
+        ) / total
+
+    def approximation_ratio(self, value: float) -> float:
+        """Ratio of *value* to the exhaustive optimum."""
+        best, _ = self.brute_force()
+        return float(value) / best if best else 0.0

@@ -1,0 +1,15 @@
+"""Result containers and schema-driven decoding."""
+
+from .counts import Counts
+from .decoding import DecodedOutcome, DecodedResult, RegisterDecoding, decode_counts
+from .sampleset import SampleRecord, SampleSet
+
+__all__ = [
+    "Counts",
+    "SampleSet",
+    "SampleRecord",
+    "DecodedOutcome",
+    "DecodedResult",
+    "RegisterDecoding",
+    "decode_counts",
+]

@@ -1,0 +1,136 @@
+"""Measurement count histograms returned by gate-model backends.
+
+A :class:`Counts` object maps classical bitstrings to the number of shots
+that produced them.  **Convention:** character ``c`` of a key is the outcome
+stored in classical bit ``c`` (clbit order), matching the ``clbit_order``
+array of the result schema.  No implicit endianness is applied — decoding is
+always driven by the explicit result schema (that is the point of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import DecodingError
+
+__all__ = ["Counts"]
+
+
+class Counts(Mapping[str, int]):
+    """Histogram of measured bitstrings (clbit-ordered keys)."""
+
+    def __init__(self, data: Optional[Mapping[str, int]] = None):
+        self._data: Dict[str, int] = {}
+        if data:
+            width = None
+            for key, value in data.items():
+                key = str(key)
+                if width is None:
+                    width = len(key)
+                elif len(key) != width:
+                    raise DecodingError(
+                        f"inconsistent bitstring widths in counts: {len(key)} vs {width}"
+                    )
+                if any(c not in "01" for c in key):
+                    raise DecodingError(f"counts key {key!r} is not a bitstring")
+                if int(value) < 0:
+                    raise DecodingError(f"negative count for {key!r}")
+                if value:
+                    self._data[key] = self._data.get(key, 0) + int(value)
+
+    # -- Mapping protocol -----------------------------------------------------
+    def __getitem__(self, key: str) -> int:
+        return self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = dict(self.most_common(4))
+        return f"Counts(shots={self.shots}, top={head})"
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def from_samples(cls, samples: Iterable[str]) -> "Counts":
+        """Build counts from an iterable of bitstring samples."""
+        return cls(Counter(str(s) for s in samples))
+
+    @classmethod
+    def from_array(cls, bits: np.ndarray) -> "Counts":
+        """Build counts from a 2-D ``{0,1}`` array (rows are shots, cols clbits)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 2:
+            raise DecodingError("expected a 2-D array of bits")
+        strings = ["".join("1" if b else "0" for b in row) for row in bits]
+        return cls.from_samples(strings)
+
+    # -- basic statistics ----------------------------------------------------------
+    @property
+    def shots(self) -> int:
+        """Total number of recorded shots."""
+        return sum(self._data.values())
+
+    @property
+    def num_clbits(self) -> int:
+        """Width of the bitstrings (0 for an empty histogram)."""
+        return len(next(iter(self._data))) if self._data else 0
+
+    def probability(self, key: str) -> float:
+        """Empirical probability of *key* (0.0 when never observed)."""
+        total = self.shots
+        return self._data.get(key, 0) / total if total else 0.0
+
+    def probabilities(self) -> Dict[str, float]:
+        """Empirical probability of every observed bitstring."""
+        total = self.shots
+        return {k: v / total for k, v in self._data.items()} if total else {}
+
+    def most_common(self, n: Optional[int] = None) -> List[Tuple[str, int]]:
+        """The *n* most frequent outcomes (all of them when *n* is None)."""
+        ordered = sorted(self._data.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ordered if n is None else ordered[:n]
+
+    def argmax(self) -> str:
+        """The single most frequent bitstring."""
+        if not self._data:
+            raise DecodingError("cannot take argmax of empty counts")
+        return self.most_common(1)[0][0]
+
+    # -- transformations --------------------------------------------------------------
+    def marginal(self, clbits: Sequence[int]) -> "Counts":
+        """Marginalise onto the given classical bits (in the given order)."""
+        width = self.num_clbits
+        for c in clbits:
+            if not 0 <= c < width:
+                raise DecodingError(f"clbit {c} out of range for width-{width} counts")
+        out: Dict[str, int] = {}
+        for key, value in self._data.items():
+            sub = "".join(key[c] for c in clbits)
+            out[sub] = out.get(sub, 0) + value
+        return Counts(out)
+
+    def merge(self, other: "Counts") -> "Counts":
+        """Combine two histograms shot-by-shot (same width required)."""
+        if self._data and other._data and self.num_clbits != other.num_clbits:
+            raise DecodingError("cannot merge counts of different widths")
+        merged = dict(self._data)
+        for key, value in other._data.items():
+            merged[key] = merged.get(key, 0) + value
+        return Counts(merged)
+
+    def expectation(self, value_fn: Callable[[str], float]) -> float:
+        """Shot-weighted average of ``value_fn(bitstring)``."""
+        total = self.shots
+        if total == 0:
+            raise DecodingError("cannot take expectation of empty counts")
+        return sum(value_fn(key) * count for key, count in self._data.items()) / total
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain dictionary copy (for JSON serialisation)."""
+        return dict(self._data)

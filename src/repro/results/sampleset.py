@@ -1,0 +1,195 @@
+"""Sample sets returned by annealing backends.
+
+A :class:`SampleSet` is the annealer-side analogue of a counts histogram: a
+table of spin configurations with their Ising energies and occurrence counts,
+mirroring what D-Wave Ocean's samplers return.  Spins are stored as ``+1/-1``
+integers; conversion to boolean labels follows the middle-layer convention
+``+1 -> 0`` and ``-1 -> 1`` so that Ising registers decode consistently with
+gate-model counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import DecodingError
+from .counts import Counts
+
+__all__ = ["SampleRecord", "SampleSet"]
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One aggregated sample: spin assignment, energy, multiplicity."""
+
+    sample: Tuple[int, ...]
+    energy: float
+    num_occurrences: int
+
+    def as_dict(self, variables: Sequence[str]) -> Dict[str, int]:
+        """Map variable names to spin values."""
+        return dict(zip(variables, self.sample))
+
+
+class SampleSet:
+    """A collection of annealer samples over named spin variables."""
+
+    def __init__(
+        self,
+        samples: np.ndarray,
+        energies: np.ndarray,
+        num_occurrences: Optional[np.ndarray] = None,
+        variables: Optional[Sequence[str]] = None,
+    ):
+        samples = np.asarray(samples, dtype=np.int8)
+        if samples.ndim != 2:
+            raise DecodingError("samples must be a 2-D array (records x variables)")
+        if not np.all(np.isin(samples, (-1, 1))):
+            raise DecodingError("samples must contain only +1/-1 spins")
+        energies = np.asarray(energies, dtype=float)
+        if energies.shape != (samples.shape[0],):
+            raise DecodingError("energies must have one entry per sample record")
+        if num_occurrences is None:
+            num_occurrences = np.ones(samples.shape[0], dtype=np.int64)
+        num_occurrences = np.asarray(num_occurrences, dtype=np.int64)
+        if num_occurrences.shape != (samples.shape[0],):
+            raise DecodingError("num_occurrences must have one entry per sample record")
+        if variables is None:
+            variables = [str(i) for i in range(samples.shape[1])]
+        if len(variables) != samples.shape[1]:
+            raise DecodingError("variables must name every sample column")
+
+        self._samples = samples
+        self._energies = energies
+        self._num_occurrences = num_occurrences
+        self._variables = [str(v) for v in variables]
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def samples(self) -> np.ndarray:
+        """Spin matrix, shape (records, variables)."""
+        return self._samples
+
+    @property
+    def energies(self) -> np.ndarray:
+        """Ising energy of every record."""
+        return self._energies
+
+    @property
+    def num_occurrences(self) -> np.ndarray:
+        """Multiplicity of every record."""
+        return self._num_occurrences
+
+    @property
+    def variables(self) -> List[str]:
+        """Variable names, one per column."""
+        return list(self._variables)
+
+    @property
+    def num_reads(self) -> int:
+        """Total number of underlying reads (sum of multiplicities)."""
+        return int(self._num_occurrences.sum())
+
+    def __len__(self) -> int:
+        return self._samples.shape[0]
+
+    def __iter__(self) -> Iterable[SampleRecord]:
+        for row, energy, occ in zip(self._samples, self._energies, self._num_occurrences):
+            yield SampleRecord(tuple(int(s) for s in row), float(energy), int(occ))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SampleSet(records={len(self)}, reads={self.num_reads}, "
+            f"best_energy={self.first.energy if len(self) else None})"
+        )
+
+    # -- statistics -----------------------------------------------------------
+    @property
+    def first(self) -> SampleRecord:
+        """The lowest-energy record (ties broken by first appearance)."""
+        if len(self) == 0:
+            raise DecodingError("empty sample set has no lowest-energy record")
+        index = int(np.argmin(self._energies))
+        return SampleRecord(
+            tuple(int(s) for s in self._samples[index]),
+            float(self._energies[index]),
+            int(self._num_occurrences[index]),
+        )
+
+    def lowest(self, n: int = 1) -> "SampleSet":
+        """A sample set containing only the *n* lowest-energy records."""
+        order = np.argsort(self._energies, kind="stable")[:n]
+        return SampleSet(
+            self._samples[order],
+            self._energies[order],
+            self._num_occurrences[order],
+            self._variables,
+        )
+
+    def mean_energy(self) -> float:
+        """Occurrence-weighted mean energy."""
+        if self.num_reads == 0:
+            raise DecodingError("empty sample set has no mean energy")
+        return float(np.average(self._energies, weights=self._num_occurrences))
+
+    def ground_state_probability(self, tolerance: float = 1e-9) -> float:
+        """Fraction of reads whose energy equals the observed minimum."""
+        if self.num_reads == 0:
+            raise DecodingError("empty sample set")
+        minimum = self._energies.min()
+        mask = self._energies <= minimum + tolerance
+        return float(self._num_occurrences[mask].sum() / self.num_reads)
+
+    # -- transformations ---------------------------------------------------------
+    def aggregate(self) -> "SampleSet":
+        """Merge duplicate spin assignments, summing their multiplicities."""
+        seen: Dict[Tuple[int, ...], int] = {}
+        energies: List[float] = []
+        rows: List[Tuple[int, ...]] = []
+        occurrences: List[int] = []
+        for record in self:
+            if record.sample in seen:
+                occurrences[seen[record.sample]] += record.num_occurrences
+            else:
+                seen[record.sample] = len(rows)
+                rows.append(record.sample)
+                energies.append(record.energy)
+                occurrences.append(record.num_occurrences)
+        return SampleSet(
+            np.array(rows, dtype=np.int8),
+            np.array(energies, dtype=float),
+            np.array(occurrences, dtype=np.int64),
+            self._variables,
+        )
+
+    def to_counts(self) -> Counts:
+        """Convert spins to a bitstring histogram (``+1 -> '0'``, ``-1 -> '1'``).
+
+        Character ``i`` of every key corresponds to variable/column ``i``,
+        matching the clbit-order convention of gate-model counts.
+        """
+        data: Dict[str, int] = {}
+        for record in self:
+            key = "".join("0" if s == 1 else "1" for s in record.sample)
+            data[key] = data.get(key, 0) + record.num_occurrences
+        return Counts(data)
+
+    def truncate(self, max_records: int) -> "SampleSet":
+        """Keep only the first *max_records* records (in energy order)."""
+        return self.lowest(max_records)
+
+    # -- construction helpers -------------------------------------------------------
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[Sequence[int]],
+        energy_fn,
+        variables: Optional[Sequence[str]] = None,
+    ) -> "SampleSet":
+        """Build a set from raw spin rows, computing energies with *energy_fn*."""
+        array = np.asarray(samples, dtype=np.int8)
+        energies = np.array([energy_fn(row) for row in array], dtype=float)
+        return cls(array, energies, variables=variables).aggregate()

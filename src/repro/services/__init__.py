@@ -1,0 +1,39 @@
+"""Orthogonal context services: QEC, communication, pulse, annealing, scheduling.
+
+These are the system-level capabilities Section 4.3.1 of the paper separates
+from operator semantics: algorithmic libraries and backends *consult* them
+through explicit calls, so programs stay portable while the caller controls
+resources and platform-specific behaviour.
+"""
+
+from .annealing import AnnealingSubmissionService, Embedding, EmbeddingService, chimera_graph
+from .communication import CommunicationPlan, CommunicationService, interaction_graph
+from .pulse import DEFAULT_GATE_DURATIONS_NS, PulseInstruction, PulseSchedule, PulseService
+from .qec import QECPlan, QECService, SurfaceCodeModel
+from .scheduler import (
+    CostAwareScheduler,
+    EnginePerformanceModel,
+    Schedule,
+    ScheduledJob,
+)
+
+__all__ = [
+    "QECService",
+    "QECPlan",
+    "SurfaceCodeModel",
+    "CommunicationService",
+    "CommunicationPlan",
+    "interaction_graph",
+    "PulseService",
+    "PulseSchedule",
+    "PulseInstruction",
+    "DEFAULT_GATE_DURATIONS_NS",
+    "EmbeddingService",
+    "Embedding",
+    "AnnealingSubmissionService",
+    "chimera_graph",
+    "CostAwareScheduler",
+    "EnginePerformanceModel",
+    "Schedule",
+    "ScheduledJob",
+]

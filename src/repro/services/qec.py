@@ -1,0 +1,208 @@
+"""Orthogonal QEC service: surface-code resource and logical-error modelling.
+
+The middle layer treats error correction as an execution context (Section
+4.3.2, Listing 5): operator descriptors stay purely logical, and an
+orthogonal QEC service binds logical registers to code patches, counts
+syndrome-extraction rounds and estimates logical error rates.  Since no
+fault-tolerant hardware is available, the service is a *resource model*: it
+answers the questions the middle layer and its scheduler actually ask —
+how many physical qubits, how long, and with what logical failure
+probability — using the standard surface-code scaling laws.
+
+Model
+-----
+* physical qubits per logical patch (rotated surface code): ``2 d^2 - 1``,
+* logical error rate per patch per round:
+  ``p_L = A * (p / p_th)^((d + 1) / 2)`` with ``A = 0.1`` and threshold
+  ``p_th = 1e-2``,
+* syndrome rounds per logical operation layer: ``d``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..core.bundle import JobBundle
+from ..core.context import QECPolicy
+from ..core.cost import CostHint
+from ..core.errors import ServiceError
+from ..core.qdt import QuantumDataType
+from ..core.qod import QuantumOperatorDescriptor
+
+__all__ = ["SurfaceCodeModel", "QECPlan", "QECService"]
+
+_DEFAULT_THRESHOLD = 1e-2
+_DEFAULT_PREFACTOR = 0.1
+
+
+@dataclass
+class SurfaceCodeModel:
+    """Scaling laws of a (rotated) surface code."""
+
+    threshold: float = _DEFAULT_THRESHOLD
+    prefactor: float = _DEFAULT_PREFACTOR
+
+    def physical_qubits_per_logical(self, distance: int) -> int:
+        """Data + syndrome qubits of one distance-d patch."""
+        self._check_distance(distance)
+        return 2 * distance * distance - 1
+
+    def logical_error_rate(self, distance: int, physical_error_rate: float) -> float:
+        """Logical error probability per patch per syndrome round."""
+        self._check_distance(distance)
+        if not 0 < physical_error_rate <= 1:
+            raise ServiceError("physical_error_rate must lie in (0, 1]")
+        ratio = physical_error_rate / self.threshold
+        return float(self.prefactor * ratio ** ((distance + 1) / 2))
+
+    def distance_for_target(
+        self, physical_error_rate: float, target_logical_rate: float, *, max_distance: int = 101
+    ) -> int:
+        """Smallest odd distance achieving *target_logical_rate* per round."""
+        if physical_error_rate >= self.threshold:
+            raise ServiceError(
+                "physical error rate is at or above threshold; no distance suffices"
+            )
+        for distance in range(3, max_distance + 1, 2):
+            if self.logical_error_rate(distance, physical_error_rate) <= target_logical_rate:
+                return distance
+        raise ServiceError(
+            f"no distance <= {max_distance} reaches logical rate {target_logical_rate}"
+        )
+
+    @staticmethod
+    def _check_distance(distance: int) -> None:
+        if distance < 3 or distance % 2 == 0:
+            raise ServiceError("surface-code distance must be an odd integer >= 3")
+
+
+@dataclass
+class QECPlan:
+    """Resource plan produced by :meth:`QECService.plan`."""
+
+    policy: QECPolicy
+    logical_qubits: int
+    physical_qubits_per_logical: int
+    total_physical_qubits: int
+    logical_depth: int
+    syndrome_rounds: int
+    execution_time_us: float
+    logical_error_rate_per_round: float
+    failure_probability: float
+    patch_assignment: Dict[str, List[int]] = field(default_factory=dict)
+    unsupported_logical_gates: List[str] = field(default_factory=list)
+
+    @property
+    def overhead_factor(self) -> float:
+        """Physical qubits per logical qubit actually used."""
+        return self.total_physical_qubits / max(1, self.logical_qubits)
+
+
+# Logical gates each rep_kind needs from the fault-tolerant gate set.
+_REQUIRED_LOGICAL_GATES: Dict[str, List[str]] = {
+    "PREP_UNIFORM": ["H"],
+    "PREP_BASIS_STATE": ["X"],
+    "PREP_ANGLE": ["RY"],
+    "QFT_TEMPLATE": ["H", "S", "T", "CNOT"],
+    "ISING_COST_PHASE": ["CNOT", "RZ"],
+    "MIXER_RX": ["RX"],
+    "ISING_EVOLUTION": ["CNOT", "RZ"],
+    "ADDER_TEMPLATE": ["H", "S", "T", "CNOT"],
+    "CONTROLLED_PHASE": ["CNOT", "T"],
+    "SWAP_TEST": ["H", "CNOT"],
+    "CSWAP_TEMPLATE": ["CNOT", "T", "H"],
+    "MEASUREMENT": ["MEASURE_Z"],
+}
+
+# Gates that a Clifford+T logical set can synthesise (rotations via T-count).
+_SYNTHESISABLE_WITH_T = {"RZ", "RX", "RY"}
+
+
+class QECService:
+    """Bind a QEC policy to a bundle and report the fault-tolerant resources."""
+
+    def __init__(self, model: Optional[SurfaceCodeModel] = None):
+        self.model = model or SurfaceCodeModel()
+
+    def plan(self, bundle: JobBundle, policy: Optional[QECPolicy] = None) -> QECPlan:
+        """Resource plan for executing *bundle* under *policy* (or the bundle's own)."""
+        if policy is None:
+            if bundle.context is None or bundle.context.qec is None:
+                raise ServiceError("no QEC policy supplied and the bundle context has none")
+            policy = bundle.context.qec
+        if policy.code_family != "surface":
+            raise ServiceError(
+                f"the reference QEC service models the surface code, not {policy.code_family!r}"
+            )
+
+        logical_qubits = bundle.total_width
+        per_logical = self.model.physical_qubits_per_logical(policy.distance)
+        total_physical = logical_qubits * per_logical
+
+        total_cost = bundle.operators.total_cost()
+        logical_depth = max(1, int(math.ceil(total_cost.get("depth", 1.0))))
+        syndrome_rounds = logical_depth * policy.distance
+
+        per_round = self.model.logical_error_rate(policy.distance, policy.physical_error_rate)
+        # Union bound over patches and rounds.
+        exponent = logical_qubits * syndrome_rounds
+        failure = 1.0 - (1.0 - per_round) ** exponent
+
+        execution_time_us = syndrome_rounds * policy.cycle_time_ns / 1000.0
+
+        patch_assignment: Dict[str, List[int]] = {}
+        next_patch = 0
+        for register_id, qdt in bundle.qdts.items():
+            patch_assignment[register_id] = list(range(next_patch, next_patch + qdt.width))
+            next_patch += qdt.width
+
+        unsupported = self._unsupported_gates(bundle.operators, policy)
+
+        return QECPlan(
+            policy=policy,
+            logical_qubits=logical_qubits,
+            physical_qubits_per_logical=per_logical,
+            total_physical_qubits=total_physical,
+            logical_depth=logical_depth,
+            syndrome_rounds=syndrome_rounds,
+            execution_time_us=execution_time_us,
+            logical_error_rate_per_round=per_round,
+            failure_probability=failure,
+            patch_assignment=patch_assignment,
+            unsupported_logical_gates=unsupported,
+        )
+
+    def _unsupported_gates(
+        self, operators: Iterable[QuantumOperatorDescriptor], policy: QECPolicy
+    ) -> List[str]:
+        available = {g.upper() for g in policy.logical_gate_set}
+        can_synthesise_rotations = "T" in available and "H" in available
+        unsupported: List[str] = []
+        for op in operators:
+            for gate in _REQUIRED_LOGICAL_GATES.get(op.rep_kind, []):
+                gate = gate.upper()
+                if gate in available:
+                    continue
+                if gate in _SYNTHESISABLE_WITH_T and can_synthesise_rotations:
+                    continue
+                if gate == "CNOT" and "CX" in available:
+                    continue
+                if gate not in unsupported:
+                    unsupported.append(gate)
+        return sorted(unsupported)
+
+    def compare_distances(
+        self, bundle: JobBundle, distances: Iterable[int], *, physical_error_rate: float = 1e-3
+    ) -> List[QECPlan]:
+        """Plans for several distances — the Listing-5 style sweep used in benchmarks."""
+        plans = []
+        for distance in distances:
+            policy = QECPolicy(
+                code_family="surface",
+                distance=distance,
+                physical_error_rate=physical_error_rate,
+            )
+            plans.append(self.plan(bundle, policy))
+        return plans

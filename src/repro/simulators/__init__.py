@@ -1,0 +1,12 @@
+"""Execution substrates used by the reference backends.
+
+Two families are provided, mirroring the paper's proof of concept:
+
+* :mod:`repro.simulators.gate` — a NumPy state-vector simulator with a small
+  transpiler, standing in for IBM Qiskit Aer.
+* :mod:`repro.simulators.anneal` — a binary-quadratic-model representation
+  and a simulated-annealing sampler, standing in for D-Wave Ocean's ``neal``.
+
+Both are deliberately independent of the middle-layer core: they know nothing
+about descriptors.  Only :mod:`repro.backends` bridges the two worlds.
+"""

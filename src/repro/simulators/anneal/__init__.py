@@ -1,0 +1,15 @@
+"""Annealing substrate: binary quadratic models and classical samplers."""
+
+from .bqm import BinaryQuadraticModel, Vartype
+from .exact import ExactSolver
+from .sampler import SimulatedAnnealingSampler
+from .schedule import beta_schedule, default_beta_range
+
+__all__ = [
+    "BinaryQuadraticModel",
+    "Vartype",
+    "SimulatedAnnealingSampler",
+    "ExactSolver",
+    "beta_schedule",
+    "default_beta_range",
+]

@@ -1,0 +1,63 @@
+"""Annealing temperature schedules.
+
+A schedule is a monotone sequence of inverse temperatures ``beta`` visited by
+the Metropolis sweeps of the simulated annealer.  Two shapes are provided
+(matching D-Wave Ocean's ``neal`` options): geometric and linear
+interpolation between ``beta_min`` and ``beta_max``.  A default range is
+derived from the problem's bias magnitudes so that early sweeps accept almost
+every move and late sweeps freeze the state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.errors import SimulationError
+from .bqm import BinaryQuadraticModel
+
+__all__ = ["default_beta_range", "beta_schedule"]
+
+
+def default_beta_range(bqm: BinaryQuadraticModel) -> Tuple[float, float]:
+    """Heuristic ``(beta_min, beta_max)`` derived from the bias magnitudes.
+
+    ``beta_min`` is chosen so the largest single-spin energy change is accepted
+    with probability ~50%; ``beta_max`` so the smallest nonzero change is
+    accepted with probability ~1%.
+    """
+    h, J, _ = bqm.change_vartype("SPIN").to_arrays()
+    # Maximum local field when every coupling aligns adversarially.
+    couplings = np.abs(J) + np.abs(J).T
+    max_delta = 2.0 * (np.abs(h) + couplings.sum(axis=1))
+    max_change = float(max_delta.max()) if max_delta.size else 1.0
+    nonzero = np.concatenate([np.abs(h[h != 0]), np.abs(J[J != 0])])
+    min_change = 2.0 * float(nonzero.min()) if nonzero.size else 1.0
+    max_change = max(max_change, 1e-9)
+    min_change = max(min_change, 1e-9)
+    beta_min = np.log(2.0) / max_change
+    beta_max = np.log(100.0) / min_change
+    if beta_max <= beta_min:
+        beta_max = beta_min * 10.0
+    return float(beta_min), float(beta_max)
+
+
+def beta_schedule(
+    num_sweeps: int,
+    beta_range: Tuple[float, float],
+    kind: str = "geometric",
+) -> np.ndarray:
+    """Array of ``num_sweeps`` inverse temperatures."""
+    if num_sweeps < 1:
+        raise SimulationError("num_sweeps must be >= 1")
+    beta_min, beta_max = float(beta_range[0]), float(beta_range[1])
+    if beta_min <= 0 or beta_max <= 0 or beta_max < beta_min:
+        raise SimulationError("beta_range must be positive and increasing")
+    if num_sweeps == 1:
+        return np.array([beta_max])
+    if kind == "geometric":
+        return np.geomspace(beta_min, beta_max, num_sweeps)
+    if kind == "linear":
+        return np.linspace(beta_min, beta_max, num_sweeps)
+    raise SimulationError(f"unknown schedule kind {kind!r}")

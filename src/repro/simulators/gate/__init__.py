@@ -1,0 +1,35 @@
+"""Gate-model substrate: gates, circuits, state-vector simulation, transpiler."""
+
+from .circuit import Circuit, Instruction
+from .gates import GateDef, gate_matrix, get_gate, has_gate, list_gates
+from .noise import NoiseModel
+from .statevector import (
+    SimulationResult,
+    Statevector,
+    StatevectorSimulator,
+    bits_to_index,
+    index_to_bits,
+)
+from .transpiler import Layout, TranspileResult, transpile
+from .unitary import circuit_unitary, equal_up_to_global_phase
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "GateDef",
+    "gate_matrix",
+    "get_gate",
+    "has_gate",
+    "list_gates",
+    "NoiseModel",
+    "Statevector",
+    "StatevectorSimulator",
+    "SimulationResult",
+    "index_to_bits",
+    "bits_to_index",
+    "transpile",
+    "TranspileResult",
+    "Layout",
+    "circuit_unitary",
+    "equal_up_to_global_phase",
+]

@@ -1,0 +1,317 @@
+"""Gate library for the gate-model substrate.
+
+Every gate is described by a :class:`GateDef` carrying its qubit arity,
+parameter count, and a function producing the unitary matrix.  Matrices are
+written in the basis where the **first qubit argument is the most significant
+bit** of the matrix index (so ``CX(control, target)`` is the familiar
+``[[1,0,0,0],[0,1,0,0],[0,0,0,1],[0,0,1,0]]``).
+
+The library covers the gates the transpiler, the lowering rules and the noise
+model need; adding a gate is a single :func:`register_gate` call.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from ...core.errors import SimulationError
+
+__all__ = [
+    "GateDef",
+    "register_gate",
+    "get_gate",
+    "has_gate",
+    "gate_matrix",
+    "list_gates",
+    "ALL_GATE_NAMES",
+]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class GateDef:
+    """Static description of one gate type."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[..., np.ndarray]
+    self_inverse: bool = False
+    description: str = ""
+
+    def matrix(self, *params: float) -> np.ndarray:
+        """The unitary matrix for the given parameters."""
+        if len(params) != self.num_params:
+            raise SimulationError(
+                f"gate {self.name!r} expects {self.num_params} parameters, got {len(params)}"
+            )
+        return self.matrix_fn(*params)
+
+
+_GATES: Dict[str, GateDef] = {}
+
+
+def register_gate(
+    name: str,
+    num_qubits: int,
+    num_params: int,
+    matrix_fn: Callable[..., np.ndarray],
+    *,
+    self_inverse: bool = False,
+    description: str = "",
+    replace: bool = False,
+) -> GateDef:
+    """Register a gate definition under *name*."""
+    if name in _GATES and not replace:
+        raise SimulationError(f"gate {name!r} already registered")
+    definition = GateDef(name, num_qubits, num_params, matrix_fn, self_inverse, description)
+    _GATES[name] = definition
+    return definition
+
+
+def get_gate(name: str) -> GateDef:
+    """Look up a gate definition, raising for unknown names."""
+    try:
+        return _GATES[name]
+    except KeyError:
+        raise SimulationError(f"unknown gate {name!r}") from None
+
+
+def has_gate(name: str) -> bool:
+    """Whether *name* is a registered gate."""
+    return name in _GATES
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Convenience wrapper returning the matrix of gate *name*."""
+    return get_gate(name).matrix(*params)
+
+
+def list_gates() -> Tuple[str, ...]:
+    """Sorted names of all registered gates."""
+    return tuple(sorted(_GATES))
+
+
+# -- concrete matrices ---------------------------------------------------------
+
+def _mat(rows) -> np.ndarray:
+    return np.array(rows, dtype=np.complex128)
+
+
+def _id() -> np.ndarray:
+    return np.eye(2, dtype=np.complex128)
+
+
+def _x() -> np.ndarray:
+    return _mat([[0, 1], [1, 0]])
+
+
+def _y() -> np.ndarray:
+    return _mat([[0, -1j], [1j, 0]])
+
+
+def _z() -> np.ndarray:
+    return _mat([[1, 0], [0, -1]])
+
+
+def _h() -> np.ndarray:
+    return _mat([[_SQ2, _SQ2], [_SQ2, -_SQ2]])
+
+
+def _s() -> np.ndarray:
+    return _mat([[1, 0], [0, 1j]])
+
+
+def _sdg() -> np.ndarray:
+    return _mat([[1, 0], [0, -1j]])
+
+
+def _t() -> np.ndarray:
+    return _mat([[1, 0], [0, cmath.exp(1j * math.pi / 4)]])
+
+
+def _tdg() -> np.ndarray:
+    return _mat([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]])
+
+
+def _sx() -> np.ndarray:
+    return 0.5 * _mat([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]])
+
+
+def _sxdg() -> np.ndarray:
+    return 0.5 * _mat([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]])
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -1j * s], [-1j * s, c]])
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat([[c, -s], [s, c]])
+
+
+def _rz(theta: float) -> np.ndarray:
+    return _mat([[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]])
+
+
+def _p(theta: float) -> np.ndarray:
+    return _mat([[1, 0], [0, cmath.exp(1j * theta)]])
+
+
+def _u(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _mat(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+def _controlled(base: np.ndarray) -> np.ndarray:
+    dim = base.shape[0]
+    out = np.eye(2 * dim, dtype=np.complex128)
+    out[dim:, dim:] = base
+    return out
+
+
+def _cx() -> np.ndarray:
+    return _controlled(_x())
+
+
+def _cz() -> np.ndarray:
+    return _controlled(_z())
+
+
+def _cy() -> np.ndarray:
+    return _controlled(_y())
+
+
+def _ch() -> np.ndarray:
+    return _controlled(_h())
+
+
+def _cp(theta: float) -> np.ndarray:
+    return _controlled(_p(theta))
+
+
+def _crx(theta: float) -> np.ndarray:
+    return _controlled(_rx(theta))
+
+
+def _cry(theta: float) -> np.ndarray:
+    return _controlled(_ry(theta))
+
+
+def _crz(theta: float) -> np.ndarray:
+    return _controlled(_rz(theta))
+
+
+def _swap() -> np.ndarray:
+    return _mat([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]])
+
+
+def _iswap() -> np.ndarray:
+    return _mat([[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]])
+
+
+def _rzz(theta: float) -> np.ndarray:
+    ep, em = cmath.exp(-1j * theta / 2), cmath.exp(1j * theta / 2)
+    return np.diag([ep, em, em, ep]).astype(np.complex128)
+
+
+def _rxx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), -1j * math.sin(theta / 2)
+    out = np.eye(4, dtype=np.complex128) * c
+    out[0, 3] = out[3, 0] = s
+    out[1, 2] = out[2, 1] = s
+    return out
+
+
+def _ryy(theta: float) -> np.ndarray:
+    c = math.cos(theta / 2)
+    s = 1j * math.sin(theta / 2)
+    out = np.eye(4, dtype=np.complex128) * c
+    out[0, 3] = s
+    out[3, 0] = s
+    out[1, 2] = -s
+    out[2, 1] = -s
+    return out
+
+
+def _ccx() -> np.ndarray:
+    return _controlled(_cx())
+
+
+def _ccz() -> np.ndarray:
+    return _controlled(_cz())
+
+
+def _cswap() -> np.ndarray:
+    return _controlled(_swap())
+
+
+# Registration order defines ALL_GATE_NAMES below.
+register_gate("id", 1, 0, _id, self_inverse=True, description="identity")
+register_gate("x", 1, 0, _x, self_inverse=True, description="Pauli X")
+register_gate("y", 1, 0, _y, self_inverse=True, description="Pauli Y")
+register_gate("z", 1, 0, _z, self_inverse=True, description="Pauli Z")
+register_gate("h", 1, 0, _h, self_inverse=True, description="Hadamard")
+register_gate("s", 1, 0, _s, description="phase S = sqrt(Z)")
+register_gate("sdg", 1, 0, _sdg, description="S dagger")
+register_gate("t", 1, 0, _t, description="T = fourth root of Z")
+register_gate("tdg", 1, 0, _tdg, description="T dagger")
+register_gate("sx", 1, 0, _sx, description="sqrt(X)")
+register_gate("sxdg", 1, 0, _sxdg, description="sqrt(X) dagger")
+register_gate("rx", 1, 1, _rx, description="X rotation")
+register_gate("ry", 1, 1, _ry, description="Y rotation")
+register_gate("rz", 1, 1, _rz, description="Z rotation")
+register_gate("p", 1, 1, _p, description="phase gate")
+register_gate("u", 1, 3, _u, description="generic single-qubit U(theta, phi, lambda)")
+register_gate("cx", 2, 0, _cx, self_inverse=True, description="controlled-X")
+register_gate("cy", 2, 0, _cy, self_inverse=True, description="controlled-Y")
+register_gate("cz", 2, 0, _cz, self_inverse=True, description="controlled-Z")
+register_gate("ch", 2, 0, _ch, self_inverse=True, description="controlled-H")
+register_gate("cp", 2, 1, _cp, description="controlled phase")
+register_gate("crx", 2, 1, _crx, description="controlled RX")
+register_gate("cry", 2, 1, _cry, description="controlled RY")
+register_gate("crz", 2, 1, _crz, description="controlled RZ")
+register_gate("swap", 2, 0, _swap, self_inverse=True, description="SWAP")
+register_gate("iswap", 2, 0, _iswap, description="iSWAP")
+register_gate("rzz", 2, 1, _rzz, description="ZZ interaction rotation")
+register_gate("rxx", 2, 1, _rxx, description="XX interaction rotation")
+register_gate("ryy", 2, 1, _ryy, description="YY interaction rotation")
+register_gate("ccx", 3, 0, _ccx, self_inverse=True, description="Toffoli")
+register_gate("ccz", 3, 0, _ccz, self_inverse=True, description="doubly-controlled Z")
+register_gate("cswap", 3, 0, _cswap, self_inverse=True, description="Fredkin")
+
+ALL_GATE_NAMES: Tuple[str, ...] = list_gates()
+
+
+def inverse_gate(name: str, params: Sequence[float] = ()) -> Tuple[str, Tuple[float, ...]]:
+    """Name/params of the inverse of gate *name* (staying in the library)."""
+    definition = get_gate(name)
+    if definition.self_inverse:
+        return name, tuple(params)
+    fixed = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t", "sx": "sxdg", "sxdg": "sx",
+             "iswap": None}
+    if name in fixed:
+        if fixed[name] is None:
+            raise SimulationError(f"gate {name!r} has no registered named inverse")
+        return fixed[name], tuple(params)
+    if definition.num_params >= 1 and name in (
+        "rx", "ry", "rz", "p", "cp", "crx", "cry", "crz", "rzz", "rxx", "ryy"
+    ):
+        return name, tuple(-p for p in params)
+    if name == "u":
+        theta, phi, lam = params
+        return "u", (-theta, -lam, -phi)
+    raise SimulationError(f"gate {name!r} has no registered named inverse")

@@ -1,0 +1,85 @@
+"""A small noise model for the gate-model substrate.
+
+The middle layer itself is noise-agnostic; this model exists so that the
+context descriptor's execution options can request noisy simulation (and so
+QEC resource estimates have a physical error rate to refer to).  Two channels
+are modelled, both applied stochastically per trajectory:
+
+* depolarizing noise after every gate (independent single-qubit Pauli errors
+  on each qubit the gate touched, with separate rates for 1q and 2q gates),
+* symmetric readout bit-flip errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...core.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .circuit import Instruction
+    from .statevector import Statevector
+
+__all__ = ["NoiseModel"]
+
+_PAULIS = ("x", "y", "z")
+
+
+@dataclass
+class NoiseModel:
+    """Depolarizing + readout-error noise parameters."""
+
+    oneq_error: float = 0.0
+    twoq_error: float = 0.0
+    readout_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("oneq_error", "twoq_error", "readout_error"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must lie in [0, 1], got {value}")
+
+    @property
+    def is_noiseless(self) -> bool:
+        """True when every rate is zero."""
+        return self.oneq_error == 0.0 and self.twoq_error == 0.0 and self.readout_error == 0.0
+
+    def apply_gate_noise(
+        self, state: "Statevector", instruction: "Instruction", rng: np.random.Generator
+    ) -> None:
+        """Apply per-qubit depolarizing noise after *instruction* (in place)."""
+        if instruction.name in ("barrier", "measure", "reset"):
+            return
+        rate = self.oneq_error if instruction.num_qubits == 1 else self.twoq_error
+        if rate <= 0.0:
+            return
+        for qubit in instruction.qubits:
+            if rng.random() < rate:
+                pauli = _PAULIS[rng.integers(0, 3)]
+                state.apply_gate(pauli, [qubit])
+
+    def apply_readout_error(self, outcome: int, rng: np.random.Generator) -> int:
+        """Flip a classical readout with probability ``readout_error``."""
+        if self.readout_error > 0.0 and rng.random() < self.readout_error:
+            return 1 - outcome
+        return outcome
+
+    def to_dict(self) -> dict:
+        return {
+            "oneq_error": self.oneq_error,
+            "twoq_error": self.twoq_error,
+            "readout_error": self.readout_error,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict | None) -> "NoiseModel | None":
+        if not doc:
+            return None
+        return cls(
+            oneq_error=float(doc.get("oneq_error", 0.0)),
+            twoq_error=float(doc.get("twoq_error", 0.0)),
+            readout_error=float(doc.get("readout_error", 0.0)),
+        )

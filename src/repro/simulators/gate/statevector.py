@@ -1,0 +1,324 @@
+"""NumPy state-vector simulation engine (the Aer stand-in).
+
+Two entry points:
+
+* :class:`Statevector` — an n-qubit state with gate application, probability
+  extraction and expectation values; useful on its own for exact reference
+  results in tests and benchmarks.
+* :class:`StatevectorSimulator` — shot-based execution of a
+  :class:`~repro.simulators.gate.circuit.Circuit`, returning a
+  :class:`~repro.results.counts.Counts` histogram.  Terminal-measurement
+  circuits are sampled from the exact distribution in one pass; circuits with
+  mid-circuit measurement or reset fall back to per-shot trajectories.
+
+State layout
+------------
+The state is stored as a tensor of shape ``(2,) * n`` where axis ``i`` is
+qubit ``i``.  In flattened (C-order) indices qubit 0 therefore varies slowest;
+the helper :func:`index_to_bits` converts a flat index to the bitstring whose
+character ``i`` is the value of qubit ``i`` — the same convention used by the
+middle layer's counts and result schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.errors import SimulationError
+from ...results.counts import Counts
+from .circuit import Circuit, Instruction
+from .gates import gate_matrix
+from .noise import NoiseModel
+
+__all__ = ["index_to_bits", "bits_to_index", "Statevector", "SimulationResult", "StatevectorSimulator"]
+
+MAX_SIMULATED_QUBITS = 24
+
+
+def index_to_bits(index: int, num_qubits: int) -> str:
+    """Flat tensor index -> bitstring with character ``i`` = qubit ``i``."""
+    return format(index, f"0{num_qubits}b")
+
+
+def bits_to_index(bits: str) -> int:
+    """Inverse of :func:`index_to_bits`."""
+    return int(bits, 2)
+
+
+class Statevector:
+    """An n-qubit pure state with in-place gate application."""
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        if num_qubits < 1:
+            raise SimulationError("statevector needs at least one qubit")
+        if num_qubits > MAX_SIMULATED_QUBITS:
+            raise SimulationError(
+                f"{num_qubits} qubits exceeds the simulator limit of {MAX_SIMULATED_QUBITS}"
+            )
+        self.num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if data is None:
+            tensor = np.zeros(dim, dtype=np.complex128)
+            tensor[0] = 1.0
+        else:
+            tensor = np.asarray(data, dtype=np.complex128).reshape(dim).copy()
+            norm = np.linalg.norm(tensor)
+            if norm == 0:
+                raise SimulationError("cannot build a statevector from the zero vector")
+            tensor = tensor / norm
+        self._tensor = tensor.reshape((2,) * num_qubits)
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def from_bitstring(cls, bits: str) -> "Statevector":
+        """Computational basis state; character ``i`` is qubit ``i``."""
+        state = cls(len(bits))
+        state._tensor[...] = 0
+        state._tensor[tuple(int(c) for c in bits)] = 1.0
+        return state
+
+    # -- accessors ---------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """Flat complex amplitudes (C-order over qubit axes 0..n-1)."""
+        return self._tensor.reshape(-1)
+
+    def amplitude(self, bits: str) -> complex:
+        """Amplitude of the basis state given as a qubit-order bitstring."""
+        if len(bits) != self.num_qubits:
+            raise SimulationError("bitstring width does not match the statevector")
+        return complex(self._tensor[tuple(int(c) for c in bits)])
+
+    def probabilities(self) -> np.ndarray:
+        """Flat probability vector (C-order over qubit axes)."""
+        return np.abs(self.data) ** 2
+
+    def probability_dict(self, threshold: float = 1e-12) -> Dict[str, float]:
+        """Bitstring -> probability for every outcome above *threshold*."""
+        probs = self.probabilities()
+        return {
+            index_to_bits(i, self.num_qubits): float(p)
+            for i, p in enumerate(probs)
+            if p > threshold
+        }
+
+    def fidelity(self, other: "Statevector") -> float:
+        """|<self|other>|^2."""
+        if other.num_qubits != self.num_qubits:
+            raise SimulationError("fidelity requires states of equal width")
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+    def expectation_z(self, qubit: int) -> float:
+        """Expectation value of Pauli Z on *qubit*."""
+        probs = np.abs(self._tensor) ** 2
+        axes = tuple(a for a in range(self.num_qubits) if a != qubit)
+        marginal = probs.sum(axis=axes) if axes else probs
+        return float(marginal[0] - marginal[1])
+
+    def expectation_zz(self, qubit_a: int, qubit_b: int) -> float:
+        """Expectation value of Z_a Z_b."""
+        if qubit_a == qubit_b:
+            return 1.0
+        probs = np.abs(self._tensor) ** 2
+        axes = tuple(a for a in range(self.num_qubits) if a not in (qubit_a, qubit_b))
+        marginal = probs.sum(axis=axes) if axes else probs
+        if qubit_a > qubit_b:
+            marginal = marginal.T
+        return float(marginal[0, 0] + marginal[1, 1] - marginal[0, 1] - marginal[1, 0])
+
+    # -- evolution ------------------------------------------------------------------
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Statevector":
+        """Apply a ``2^m x 2^m`` unitary to the given qubits (first = MSB)."""
+        qubits = [int(q) for q in qubits]
+        m = len(qubits)
+        if matrix.shape != (1 << m, 1 << m):
+            raise SimulationError(
+                f"matrix shape {matrix.shape} does not match {m} target qubits"
+            )
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise SimulationError(f"qubit {q} out of range")
+        tensor = np.moveaxis(self._tensor, qubits, range(m))
+        shape = tensor.shape
+        tensor = tensor.reshape(1 << m, -1)
+        tensor = matrix @ tensor
+        tensor = tensor.reshape(shape)
+        self._tensor = np.moveaxis(tensor, range(m), qubits)
+        return self
+
+    def apply_gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "Statevector":
+        """Apply a named gate from the library."""
+        return self.apply_matrix(gate_matrix(name, params), qubits)
+
+    def evolve(self, circuit: Circuit) -> "Statevector":
+        """Apply every unitary gate of *circuit* (measure/reset are rejected)."""
+        if circuit.num_qubits != self.num_qubits:
+            raise SimulationError("circuit width does not match the statevector")
+        for inst in circuit.instructions:
+            if inst.name == "barrier":
+                continue
+            if not inst.is_gate:
+                raise SimulationError(
+                    "Statevector.evolve only supports unitary circuits; "
+                    "use StatevectorSimulator.run for measurements"
+                )
+            self.apply_gate(inst.name, inst.qubits, inst.params)
+        return self
+
+    # -- measurement -----------------------------------------------------------------
+    def measure_qubit(self, qubit: int, rng: np.random.Generator) -> int:
+        """Projectively measure one qubit, collapsing the state in place."""
+        probs = np.abs(self._tensor) ** 2
+        axes = tuple(a for a in range(self.num_qubits) if a != qubit)
+        marginal = probs.sum(axis=axes) if axes else probs
+        p1 = float(marginal[1])
+        outcome = 1 if rng.random() < p1 else 0
+        projector_index = [slice(None)] * self.num_qubits
+        projector_index[qubit] = 1 - outcome
+        self._tensor[tuple(projector_index)] = 0.0
+        norm = np.linalg.norm(self._tensor)
+        if norm == 0:
+            raise SimulationError("measurement produced a zero-norm state")
+        self._tensor /= norm
+        return outcome
+
+    def reset_qubit(self, qubit: int, rng: np.random.Generator) -> None:
+        """Measure then flip-to-zero a single qubit."""
+        outcome = self.measure_qubit(qubit, rng)
+        if outcome == 1:
+            self.apply_gate("x", [qubit])
+
+    def sample_counts(
+        self, shots: int, rng: np.random.Generator, qubits: Optional[Sequence[int]] = None
+    ) -> Counts:
+        """Sample *shots* outcomes of the given qubits (default all)."""
+        qubits = list(range(self.num_qubits)) if qubits is None else list(qubits)
+        probs = self.probabilities()
+        outcomes = rng.choice(len(probs), size=shots, p=probs / probs.sum())
+        data: Dict[str, int] = {}
+        for index, multiplicity in zip(*np.unique(outcomes, return_counts=True)):
+            full = index_to_bits(int(index), self.num_qubits)
+            key = "".join(full[q] for q in qubits)
+            data[key] = data.get(key, 0) + int(multiplicity)
+        return Counts(data)
+
+
+@dataclass
+class SimulationResult:
+    """Output of one :class:`StatevectorSimulator` run."""
+
+    counts: Counts
+    statevector: Optional[Statevector] = None
+    shots: int = 0
+    seed: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def get_counts(self) -> Counts:
+        """Qiskit-style accessor."""
+        return self.counts
+
+
+class StatevectorSimulator:
+    """Shot-based execution of circuits on the exact state vector."""
+
+    def __init__(self, *, noise_model: Optional[NoiseModel] = None):
+        self.noise_model = noise_model
+
+    def run(
+        self,
+        circuit: Circuit,
+        *,
+        shots: int = 1024,
+        seed: Optional[int] = None,
+        return_statevector: bool = False,
+    ) -> SimulationResult:
+        """Execute *circuit* and return counts over its classical bits.
+
+        Circuits without measurements return counts over all qubits measured
+        implicitly at the end *only* when ``shots > 0`` — but note the middle
+        layer never relies on this: lowered circuits always carry explicit
+        measurements (the "no hidden measurement" rule).
+        """
+        if shots < 0:
+            raise SimulationError("shots must be non-negative")
+        rng = np.random.default_rng(seed)
+
+        needs_trajectories = (
+            self.noise_model is not None
+            or not circuit.measurements_are_terminal()
+            or any(inst.name == "reset" for inst in circuit.instructions)
+        )
+        if needs_trajectories:
+            counts, final_state = self._run_trajectories(circuit, shots, rng)
+        else:
+            counts, final_state = self._run_exact(circuit, shots, rng)
+        return SimulationResult(
+            counts=counts,
+            statevector=final_state if return_statevector else None,
+            shots=shots,
+            seed=seed,
+            metadata={"method": "trajectories" if needs_trajectories else "exact"},
+        )
+
+    # -- exact path -------------------------------------------------------------
+    def _run_exact(
+        self, circuit: Circuit, shots: int, rng: np.random.Generator
+    ) -> Tuple[Counts, Statevector]:
+        state = Statevector(circuit.num_qubits)
+        measure_map: Dict[int, int] = {}
+        for inst in circuit.instructions:
+            if inst.name == "barrier":
+                continue
+            if inst.name == "measure":
+                measure_map[inst.clbits[0]] = inst.qubits[0]
+                continue
+            state.apply_gate(inst.name, inst.qubits, inst.params)
+
+        if not measure_map or shots == 0:
+            return Counts({}), state
+
+        num_clbits = circuit.num_clbits
+        probs = state.probabilities()
+        outcomes = rng.choice(len(probs), size=shots, p=probs / probs.sum())
+        data: Dict[str, int] = {}
+        for index, multiplicity in zip(*np.unique(outcomes, return_counts=True)):
+            full = index_to_bits(int(index), circuit.num_qubits)
+            key_chars = ["0"] * num_clbits
+            for clbit, qubit in measure_map.items():
+                key_chars[clbit] = full[qubit]
+            key = "".join(key_chars)
+            data[key] = data.get(key, 0) + int(multiplicity)
+        return Counts(data), state
+
+    # -- trajectory path -----------------------------------------------------------
+    def _run_trajectories(
+        self, circuit: Circuit, shots: int, rng: np.random.Generator
+    ) -> Tuple[Counts, Statevector]:
+        if shots == 0:
+            return Counts({}), Statevector(circuit.num_qubits)
+        samples: List[str] = []
+        final_state = Statevector(circuit.num_qubits)
+        for _ in range(shots):
+            state = Statevector(circuit.num_qubits)
+            clbits = ["0"] * circuit.num_clbits
+            for inst in circuit.instructions:
+                if inst.name == "barrier":
+                    continue
+                if inst.name == "measure":
+                    outcome = state.measure_qubit(inst.qubits[0], rng)
+                    if self.noise_model is not None:
+                        outcome = self.noise_model.apply_readout_error(outcome, rng)
+                    clbits[inst.clbits[0]] = str(outcome)
+                    continue
+                if inst.name == "reset":
+                    state.reset_qubit(inst.qubits[0], rng)
+                    continue
+                state.apply_gate(inst.name, inst.qubits, inst.params)
+                if self.noise_model is not None:
+                    self.noise_model.apply_gate_noise(state, inst, rng)
+            samples.append("".join(clbits))
+            final_state = state
+        return Counts.from_samples(samples), final_state

@@ -1,0 +1,336 @@
+"""Gate decomposition into a target basis.
+
+Implements the basis-translation step of the transpiler: every gate of a
+circuit is rewritten, recursively, into gates drawn from the context's
+``basis_gates`` list (Listing 4 uses ``["sx", "rz", "cx"]``).
+
+Single-qubit gates are resynthesised from their 2x2 matrix, either as
+``RZ·RY·RZ`` (ZYZ) or ``RZ·SX·RZ·SX·RZ`` (ZSX) depending on the basis.
+Multi-qubit gates are expanded through a fixed rule table down to
+``{cx, 1q}`` and then translated.  All rewrites preserve the circuit's
+unitary up to a global phase.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ....core.errors import TranspilerError
+from ..circuit import Circuit, Instruction
+from ..gates import gate_matrix
+
+__all__ = ["zyz_angles", "decompose_1q_matrix", "decompose_to_basis", "expand_instruction"]
+
+_ATOL = 1e-10
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``e^{i phase} RZ(phi) RY(theta) RZ(lam)``.
+
+    Returns ``(theta, phi, lam, phase)``.
+    """
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    if matrix.shape != (2, 2):
+        raise TranspilerError("zyz_angles expects a 2x2 matrix")
+    det = np.linalg.det(matrix)
+    if abs(abs(det) - 1.0) > 1e-6:
+        raise TranspilerError("matrix is not unitary (|det| != 1)")
+    # Special-unitary form.
+    phase = 0.5 * cmath.phase(det)
+    su = matrix * cmath.exp(-1j * phase)
+    theta = 2.0 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
+    if abs(su[1, 0]) < _ATOL and abs(su[0, 1]) < _ATOL:
+        # Diagonal: only the sum phi + lam is defined.
+        phi_plus_lam = 2.0 * cmath.phase(su[1, 1])
+        phi, lam = phi_plus_lam, 0.0
+    elif abs(su[0, 0]) < _ATOL and abs(su[1, 1]) < _ATOL:
+        # Anti-diagonal: only the difference phi - lam is defined.
+        phi_minus_lam = 2.0 * cmath.phase(su[1, 0])
+        phi, lam = phi_minus_lam, 0.0
+    else:
+        phi_plus_lam = 2.0 * cmath.phase(su[1, 1])
+        phi_minus_lam = 2.0 * cmath.phase(su[1, 0])
+        phi = 0.5 * (phi_plus_lam + phi_minus_lam)
+        lam = 0.5 * (phi_plus_lam - phi_minus_lam)
+    return theta, phi, lam, phase
+
+
+def _is_multiple_of_2pi(angle: float) -> bool:
+    return abs(((angle + math.pi) % (2 * math.pi)) - math.pi) < 1e-12
+
+
+def decompose_1q_matrix(
+    matrix: np.ndarray, qubit: int, basis_gates: Sequence[str]
+) -> List[Instruction]:
+    """Rewrite an arbitrary 1-qubit unitary into instructions from the basis."""
+    theta, phi, lam, _ = zyz_angles(matrix)
+    basis = set(basis_gates)
+
+    if "u" in basis:
+        return [Instruction("u", (qubit,), (theta, phi, lam))]
+
+    if "rz" in basis and "ry" in basis:
+        out = []
+        if not _is_multiple_of_2pi(lam):
+            out.append(Instruction("rz", (qubit,), (lam,)))
+        if abs(theta) > _ATOL:
+            out.append(Instruction("ry", (qubit,), (theta,)))
+        if not _is_multiple_of_2pi(phi):
+            out.append(Instruction("rz", (qubit,), (phi,)))
+        return out
+
+    if "rz" in basis and "sx" in basis:
+        # U(theta, phi, lam) ~ RZ(phi + pi) . SX . RZ(theta + pi) . SX . RZ(lam)
+        # (standard ZSX Euler basis, exact up to global phase).
+        if abs(theta) < _ATOL:
+            total = phi + lam
+            if _is_multiple_of_2pi(total):
+                return []
+            return [Instruction("rz", (qubit,), (total,))]
+        return [
+            Instruction("rz", (qubit,), (lam,)),
+            Instruction("sx", (qubit,)),
+            Instruction("rz", (qubit,), (theta + math.pi,)),
+            Instruction("sx", (qubit,)),
+            Instruction("rz", (qubit,), (phi + math.pi,)),
+        ]
+
+    raise TranspilerError(
+        f"basis {sorted(basis)} cannot express single-qubit unitaries "
+        "(needs 'u', or 'rz'+'ry', or 'rz'+'sx')"
+    )
+
+
+# -- multi-qubit expansion rules (always into {cx, 1q gates}) -------------------
+
+def _rule_cz(inst: Instruction) -> List[Instruction]:
+    a, b = inst.qubits
+    return [Instruction("h", (b,)), Instruction("cx", (a, b)), Instruction("h", (b,))]
+
+
+def _rule_cy(inst: Instruction) -> List[Instruction]:
+    a, b = inst.qubits
+    return [Instruction("sdg", (b,)), Instruction("cx", (a, b)), Instruction("s", (b,))]
+
+
+def _rule_ch(inst: Instruction) -> List[Instruction]:
+    a, b = inst.qubits
+    return [
+        Instruction("ry", (b,), (math.pi / 4,)),
+        Instruction("cx", (a, b)),
+        Instruction("ry", (b,), (-math.pi / 4,)),
+    ]
+
+
+def _rule_cp(inst: Instruction) -> List[Instruction]:
+    lam = inst.params[0]
+    a, b = inst.qubits
+    return [
+        Instruction("p", (a,), (lam / 2,)),
+        Instruction("cx", (a, b)),
+        Instruction("p", (b,), (-lam / 2,)),
+        Instruction("cx", (a, b)),
+        Instruction("p", (b,), (lam / 2,)),
+    ]
+
+
+def _rule_crz(inst: Instruction) -> List[Instruction]:
+    lam = inst.params[0]
+    a, b = inst.qubits
+    return [
+        Instruction("rz", (b,), (lam / 2,)),
+        Instruction("cx", (a, b)),
+        Instruction("rz", (b,), (-lam / 2,)),
+        Instruction("cx", (a, b)),
+    ]
+
+
+def _rule_cry(inst: Instruction) -> List[Instruction]:
+    theta = inst.params[0]
+    a, b = inst.qubits
+    return [
+        Instruction("ry", (b,), (theta / 2,)),
+        Instruction("cx", (a, b)),
+        Instruction("ry", (b,), (-theta / 2,)),
+        Instruction("cx", (a, b)),
+    ]
+
+
+def _rule_crx(inst: Instruction) -> List[Instruction]:
+    theta = inst.params[0]
+    a, b = inst.qubits
+    return [
+        Instruction("h", (b,)),
+        *_rule_crz(Instruction("crz", (a, b), (theta,))),
+        Instruction("h", (b,)),
+    ]
+
+
+def _rule_swap(inst: Instruction) -> List[Instruction]:
+    a, b = inst.qubits
+    return [Instruction("cx", (a, b)), Instruction("cx", (b, a)), Instruction("cx", (a, b))]
+
+
+def _rule_rzz(inst: Instruction) -> List[Instruction]:
+    theta = inst.params[0]
+    a, b = inst.qubits
+    return [
+        Instruction("cx", (a, b)),
+        Instruction("rz", (b,), (theta,)),
+        Instruction("cx", (a, b)),
+    ]
+
+
+def _rule_rxx(inst: Instruction) -> List[Instruction]:
+    theta = inst.params[0]
+    a, b = inst.qubits
+    return [
+        Instruction("h", (a,)),
+        Instruction("h", (b,)),
+        *_rule_rzz(Instruction("rzz", (a, b), (theta,))),
+        Instruction("h", (a,)),
+        Instruction("h", (b,)),
+    ]
+
+
+def _rule_ryy(inst: Instruction) -> List[Instruction]:
+    theta = inst.params[0]
+    a, b = inst.qubits
+    return [
+        Instruction("rx", (a,), (math.pi / 2,)),
+        Instruction("rx", (b,), (math.pi / 2,)),
+        *_rule_rzz(Instruction("rzz", (a, b), (theta,))),
+        Instruction("rx", (a,), (-math.pi / 2,)),
+        Instruction("rx", (b,), (-math.pi / 2,)),
+    ]
+
+
+def _rule_iswap(inst: Instruction) -> List[Instruction]:
+    a, b = inst.qubits
+    return [
+        *_rule_rxx(Instruction("rxx", (a, b), (-math.pi / 2,))),
+        *_rule_ryy(Instruction("ryy", (a, b), (-math.pi / 2,))),
+    ]
+
+
+def _rule_ccx(inst: Instruction) -> List[Instruction]:
+    a, b, c = inst.qubits
+    return [
+        Instruction("h", (c,)),
+        Instruction("cx", (b, c)),
+        Instruction("tdg", (c,)),
+        Instruction("cx", (a, c)),
+        Instruction("t", (c,)),
+        Instruction("cx", (b, c)),
+        Instruction("tdg", (c,)),
+        Instruction("cx", (a, c)),
+        Instruction("t", (b,)),
+        Instruction("t", (c,)),
+        Instruction("h", (c,)),
+        Instruction("cx", (a, b)),
+        Instruction("t", (a,)),
+        Instruction("tdg", (b,)),
+        Instruction("cx", (a, b)),
+    ]
+
+
+def _rule_ccz(inst: Instruction) -> List[Instruction]:
+    a, b, c = inst.qubits
+    return [
+        Instruction("h", (c,)),
+        *_rule_ccx(Instruction("ccx", (a, b, c))),
+        Instruction("h", (c,)),
+    ]
+
+
+def _rule_cswap(inst: Instruction) -> List[Instruction]:
+    c, a, b = inst.qubits
+    return [
+        Instruction("cx", (b, a)),
+        *_rule_ccx(Instruction("ccx", (c, a, b))),
+        Instruction("cx", (b, a)),
+    ]
+
+
+_EXPANSION_RULES = {
+    "cz": _rule_cz,
+    "cy": _rule_cy,
+    "ch": _rule_ch,
+    "cp": _rule_cp,
+    "crz": _rule_crz,
+    "cry": _rule_cry,
+    "crx": _rule_crx,
+    "swap": _rule_swap,
+    "rzz": _rule_rzz,
+    "rxx": _rule_rxx,
+    "ryy": _rule_ryy,
+    "iswap": _rule_iswap,
+    "ccx": _rule_ccx,
+    "ccz": _rule_ccz,
+    "cswap": _rule_cswap,
+}
+
+
+def expand_instruction(inst: Instruction) -> List[Instruction]:
+    """Expand one multi-qubit gate into {cx, 1q} gates (one level of rules)."""
+    rule = _EXPANSION_RULES.get(inst.name)
+    if rule is None:
+        raise TranspilerError(f"no expansion rule for gate {inst.name!r}")
+    return rule(inst)
+
+
+def decompose_to_basis(
+    circuit: Circuit,
+    basis_gates: Optional[Sequence[str]],
+    *,
+    keep_swaps: bool = False,
+) -> Circuit:
+    """Rewrite *circuit* so every gate is in *basis_gates*.
+
+    ``None`` basis means "leave everything untouched".  Measurements, resets
+    and barriers always pass through.  ``keep_swaps=True`` leaves explicit
+    ``swap`` gates in place (used between routing and final translation).
+    """
+    if basis_gates is None:
+        return circuit.copy()
+    basis = set(basis_gates)
+    if not ({"cx", "cz"} & basis):
+        raise TranspilerError("basis must contain an entangling gate ('cx' or 'cz')")
+
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, name=circuit.name)
+    out.metadata = dict(circuit.metadata)
+
+    def emit(inst: Instruction) -> None:
+        if inst.name in ("measure", "reset", "barrier"):
+            out.instructions.append(inst)
+            return
+        if inst.name in basis:
+            out.instructions.append(inst)
+            return
+        if keep_swaps and inst.name == "swap":
+            out.instructions.append(inst)
+            return
+        if inst.name == "id":
+            return
+        if inst.num_qubits == 1:
+            matrix = gate_matrix(inst.name, inst.params)
+            for new in decompose_1q_matrix(matrix, inst.qubits[0], basis_gates):
+                emit(new)
+            return
+        if inst.name == "cx" and "cx" not in basis:
+            # Only cz remains as the entangler.
+            a, b = inst.qubits
+            emit(Instruction("h", (b,)))
+            emit(Instruction("cz", (a, b)))
+            emit(Instruction("h", (b,)))
+            return
+        for new in expand_instruction(inst):
+            emit(new)
+
+    for inst in circuit.instructions:
+        emit(inst)
+    return out

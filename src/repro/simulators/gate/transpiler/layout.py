@@ -1,0 +1,120 @@
+"""Initial layout selection: mapping logical qubits onto physical qubits.
+
+The context descriptor's ``coupling_map`` names physical qubits; the lowered
+circuit uses logical qubits ``0..n-1``.  A :class:`Layout` records the
+bijection between the two, and this module offers two selection strategies:
+
+* :func:`trivial_layout` — logical ``i`` on physical ``i`` (what Qiskit does
+  at optimisation level 0/1 for small circuits),
+* :func:`greedy_layout` — pick a connected, high-degree region of the device
+  graph so that routing has short paths to work with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ....core.errors import TranspilerError
+
+__all__ = ["Layout", "coupling_graph", "trivial_layout", "greedy_layout"]
+
+
+class Layout:
+    """A bijection logical qubit -> physical qubit."""
+
+    def __init__(self, mapping: Dict[int, int]):
+        values = list(mapping.values())
+        if len(set(values)) != len(values):
+            raise TranspilerError("layout maps two logical qubits to the same physical qubit")
+        self._l2p = dict(mapping)
+        self._p2l = {p: l for l, p in self._l2p.items()}
+
+    # -- accessors -----------------------------------------------------------
+    def physical(self, logical: int) -> int:
+        """Physical qubit carrying *logical*."""
+        try:
+            return self._l2p[logical]
+        except KeyError:
+            raise TranspilerError(f"logical qubit {logical} not in layout") from None
+
+    def logical(self, physical: int) -> Optional[int]:
+        """Logical qubit on *physical*, or ``None`` when unused."""
+        return self._p2l.get(physical)
+
+    def to_dict(self) -> Dict[int, int]:
+        """Plain logical -> physical dictionary copy."""
+        return dict(self._l2p)
+
+    @property
+    def num_logical(self) -> int:
+        return len(self._l2p)
+
+    def physical_qubits(self) -> List[int]:
+        """Physical qubits in use, ordered by logical index."""
+        return [self._l2p[l] for l in sorted(self._l2p)]
+
+    # -- mutation -------------------------------------------------------------
+    def swap_physical(self, phys_a: int, phys_b: int) -> None:
+        """Record a SWAP between two physical qubits (updates the bijection)."""
+        la, lb = self._p2l.get(phys_a), self._p2l.get(phys_b)
+        if la is not None:
+            self._l2p[la] = phys_b
+        if lb is not None:
+            self._l2p[lb] = phys_a
+        self._p2l = {p: l for l, p in self._l2p.items()}
+
+    def copy(self) -> "Layout":
+        return Layout(dict(self._l2p))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Layout({self._l2p})"
+
+
+def coupling_graph(coupling_map: Sequence[Tuple[int, int]]) -> nx.Graph:
+    """Undirected device graph built from a coupling map edge list."""
+    graph = nx.Graph()
+    for a, b in coupling_map:
+        if a == b:
+            raise TranspilerError(f"coupling map contains a self-loop ({a}, {b})")
+        graph.add_edge(int(a), int(b))
+    return graph
+
+
+def trivial_layout(num_logical: int) -> Layout:
+    """Logical ``i`` -> physical ``i``."""
+    return Layout({i: i for i in range(num_logical)})
+
+
+def greedy_layout(num_logical: int, coupling_map: Sequence[Tuple[int, int]]) -> Layout:
+    """Map logical qubits onto a connected, well-connected device region.
+
+    Starting from the highest-degree physical qubit, a breadth-first search
+    collects ``num_logical`` physical qubits, always preferring neighbours
+    with the most connections back into the selected region.
+    """
+    graph = coupling_graph(coupling_map)
+    if graph.number_of_nodes() < num_logical:
+        raise TranspilerError(
+            f"device has {graph.number_of_nodes()} qubits, circuit needs {num_logical}"
+        )
+    start = max(graph.degree, key=lambda kv: kv[1])[0]
+    selected: List[int] = [start]
+    frontier = set(graph.neighbors(start))
+    while len(selected) < num_logical:
+        if not frontier:
+            # Disconnected device: jump to the best remaining node.
+            remaining = [n for n in graph.nodes if n not in selected]
+            if not remaining:
+                raise TranspilerError("could not select enough physical qubits")
+            best = max(remaining, key=lambda n: graph.degree[n])
+        else:
+            best = max(
+                frontier,
+                key=lambda n: (sum(1 for m in graph.neighbors(n) if m in selected), graph.degree[n]),
+            )
+        selected.append(best)
+        frontier.discard(best)
+        frontier.update(m for m in graph.neighbors(best) if m not in selected)
+    return Layout({logical: physical for logical, physical in enumerate(selected)})

@@ -1,0 +1,138 @@
+"""Peephole optimisation passes.
+
+These passes only ever shrink circuits, so they are safe to iterate to a
+fixed point:
+
+* :func:`remove_identities` — drop ``id`` gates and rotations whose angle is a
+  multiple of 2*pi (a global phase on the full circuit).
+* :func:`cancel_inverse_pairs` — remove adjacent self-inverse pairs acting on
+  the same qubits with no interposed operation (``cx cx``, ``h h``, ...).
+* :func:`merge_rotations` — add the angles of adjacent rotations of the same
+  kind on the same qubits (``rz rz``, ``cp cp``, ``rzz rzz``...).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..circuit import Circuit, Instruction
+from ..gates import get_gate
+
+__all__ = ["remove_identities", "cancel_inverse_pairs", "merge_rotations", "optimize_circuit"]
+
+_ANGLE_TOL = 1e-12
+_MERGEABLE = {"rz", "rx", "ry", "p", "cp", "crx", "cry", "crz", "rzz", "rxx", "ryy"}
+_SYMMETRIC_2Q = {"rzz", "rxx", "ryy", "cz", "ccz"}
+
+
+def _is_trivial_angle(angle: float) -> bool:
+    return abs(((angle + math.pi) % (2 * math.pi)) - math.pi) < _ANGLE_TOL
+
+
+def _canonical_qubits(inst: Instruction) -> Tuple[int, ...]:
+    """Qubit tuple with symmetric gates normalised to sorted order."""
+    if inst.name in _SYMMETRIC_2Q:
+        return tuple(sorted(inst.qubits))
+    return inst.qubits
+
+
+def remove_identities(circuit: Circuit) -> Circuit:
+    """Drop ``id`` gates and rotations by multiples of 2*pi."""
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, name=circuit.name)
+    out.metadata = dict(circuit.metadata)
+    for inst in circuit.instructions:
+        if inst.name == "id":
+            continue
+        if inst.name in _MERGEABLE and _is_trivial_angle(inst.params[0]):
+            continue
+        out.instructions.append(inst)
+    return out
+
+
+def cancel_inverse_pairs(circuit: Circuit) -> Circuit:
+    """Cancel adjacent self-inverse gates on identical qubits.
+
+    "Adjacent" means no intervening instruction touches any of the gate's
+    qubits (or, for measuring/reset ops, the whole pass keeps them as
+    barriers for safety).
+    """
+    instructions = list(circuit.instructions)
+    removed = [False] * len(instructions)
+    # last_open[qubits+name] -> index of a candidate waiting for its partner
+    last_open: Dict[Tuple, int] = {}
+
+    def invalidate(qubits: Tuple[int, ...]) -> None:
+        stale = [key for key in last_open if set(key[1]) & set(qubits)]
+        for key in stale:
+            del last_open[key]
+
+    for index, inst in enumerate(instructions):
+        if inst.name in ("measure", "reset", "barrier"):
+            invalidate(inst.qubits)
+            continue
+        definition = get_gate(inst.name)
+        if not definition.self_inverse or inst.params:
+            invalidate(inst.qubits)
+            if inst.name in _MERGEABLE:
+                # merging handled by merge_rotations; treat as blocking here
+                pass
+            continue
+        key = (inst.name, _canonical_qubits(inst))
+        partner = last_open.get(key)
+        if partner is not None:
+            removed[partner] = True
+            removed[index] = True
+            del last_open[key]
+            continue
+        invalidate(inst.qubits)
+        last_open[key] = index
+
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, name=circuit.name)
+    out.metadata = dict(circuit.metadata)
+    out.instructions = [inst for inst, dead in zip(instructions, removed) if not dead]
+    return out
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Combine adjacent same-kind rotations on the same qubits by adding angles."""
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, name=circuit.name)
+    out.metadata = dict(circuit.metadata)
+    pending: Dict[Tuple, int] = {}  # (name, qubits) -> index in out.instructions
+
+    def invalidate(qubits: Tuple[int, ...]) -> None:
+        stale = [key for key in pending if set(key[1]) & set(qubits)]
+        for key in stale:
+            del pending[key]
+
+    for inst in circuit.instructions:
+        if inst.name in _MERGEABLE:
+            key = (inst.name, _canonical_qubits(inst))
+            previous = pending.get(key)
+            if previous is not None:
+                old = out.instructions[previous]
+                merged_angle = old.params[0] + inst.params[0]
+                out.instructions[previous] = Instruction(
+                    old.name, old.qubits, (merged_angle,), old.clbits, old.label
+                )
+                continue
+            invalidate(inst.qubits)
+            out.instructions.append(inst)
+            pending[key] = len(out.instructions) - 1
+            continue
+        invalidate(inst.qubits)
+        out.instructions.append(inst)
+    return remove_identities(out)
+
+
+def optimize_circuit(circuit: Circuit, *, iterations: int = 4) -> Circuit:
+    """Iterate the cheap passes to a fixed point (bounded by *iterations*)."""
+    current = remove_identities(circuit)
+    for _ in range(iterations):
+        before = len(current.instructions)
+        current = merge_rotations(current)
+        current = cancel_inverse_pairs(current)
+        current = remove_identities(current)
+        if len(current.instructions) == before:
+            break
+    return current

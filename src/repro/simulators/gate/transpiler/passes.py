@@ -1,0 +1,113 @@
+"""Pass manager: the substrate-side consumer of the context's ``target`` block.
+
+:func:`transpile` mirrors the knobs the paper's Listing 4 exposes —
+``basis_gates``, ``coupling_map`` and ``optimization_level`` — and reports the
+structural metrics (depth, two-qubit count, inserted SWAPs) that feed cost
+hints and the scheduler.
+
+Pipeline (roughly Qiskit's preset pass managers, radically simplified):
+
+1. decompose every gate to at most two qubits,
+2. choose an initial layout (trivial for level <= 1, greedy for level >= 2),
+3. route against the coupling map (SWAP insertion),
+4. translate to the requested basis,
+5. peephole-optimise (levels >= 1), iterating once more at level >= 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ....core.errors import TranspilerError
+from ..circuit import Circuit
+from .decompose import decompose_to_basis
+from .layout import Layout, greedy_layout, trivial_layout
+from .optimize import optimize_circuit
+from .routing import route_circuit
+
+__all__ = ["TranspileResult", "transpile"]
+
+# Basis used to normalise circuits before routing (everything <= 2 qubits).
+_PRE_ROUTING_BASIS = (
+    "cx", "rz", "sx", "x", "h", "s", "sdg", "t", "tdg", "rx", "ry", "p", "u",
+    "cz", "cp", "swap", "rzz",
+)
+
+
+@dataclass
+class TranspileResult:
+    """A transpiled circuit plus the metadata schedulers care about."""
+
+    circuit: Circuit
+    initial_layout: Layout
+    final_layout: Layout
+    basis_gates: Optional[Tuple[str, ...]]
+    coupling_map: Optional[Tuple[Tuple[int, int], ...]]
+    num_swaps_inserted: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+def transpile(
+    circuit: Circuit,
+    *,
+    basis_gates: Optional[Sequence[str]] = None,
+    coupling_map: Optional[Sequence[Tuple[int, int]]] = None,
+    optimization_level: int = 1,
+    initial_layout: Optional[Layout] = None,
+) -> TranspileResult:
+    """Lower *circuit* to the target described by the execution context."""
+    if not 0 <= optimization_level <= 3:
+        raise TranspilerError("optimization_level must be between 0 and 3")
+
+    original_depth = circuit.depth()
+    original_twoq = circuit.num_twoq_gates()
+
+    # 1. normalise to <=2-qubit gates so routing has something it understands.
+    working = decompose_to_basis(circuit, _PRE_ROUTING_BASIS)
+
+    # 2. layout selection.
+    if initial_layout is None:
+        if coupling_map is not None and optimization_level >= 2:
+            initial_layout = greedy_layout(working.num_qubits, coupling_map)
+        else:
+            initial_layout = trivial_layout(working.num_qubits)
+
+    # 3. routing.
+    routing = route_circuit(working, coupling_map, initial_layout=initial_layout)
+    routed = routing.circuit
+
+    # 4. basis translation (after routing so inserted SWAPs are translated too).
+    translated = decompose_to_basis(routed, basis_gates) if basis_gates else routed
+
+    # 5. optimisation.
+    if optimization_level >= 1:
+        translated = optimize_circuit(translated)
+    if optimization_level >= 2:
+        translated = optimize_circuit(translated, iterations=8)
+
+    translated.metadata.update(
+        {
+            "basis_gates": list(basis_gates) if basis_gates else None,
+            "coupling_map": [list(e) for e in coupling_map] if coupling_map else None,
+            "optimization_level": optimization_level,
+        }
+    )
+
+    metrics = {
+        "original_depth": float(original_depth),
+        "original_twoq": float(original_twoq),
+        "depth": float(translated.depth()),
+        "twoq": float(translated.num_twoq_gates()),
+        "gates": float(translated.num_gates()),
+        "swaps_inserted": float(routing.num_swaps_inserted),
+    }
+    return TranspileResult(
+        circuit=translated,
+        initial_layout=routing.initial_layout,
+        final_layout=routing.final_layout,
+        basis_gates=tuple(basis_gates) if basis_gates else None,
+        coupling_map=tuple(tuple(e) for e in coupling_map) if coupling_map else None,
+        num_swaps_inserted=routing.num_swaps_inserted,
+        metrics=metrics,
+    )

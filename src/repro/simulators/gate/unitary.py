@@ -1,0 +1,64 @@
+"""Exact unitary construction for small circuits.
+
+Used by tests and the transpiler's verification utilities to check that
+rewrites preserve the circuit's action up to a global phase.  The cost is
+O(4^n) memory, so this is limited to small widths; the simulator proper never
+needs the full unitary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...core.errors import SimulationError
+from .circuit import Circuit
+from .gates import gate_matrix
+
+__all__ = ["circuit_unitary", "equal_up_to_global_phase"]
+
+MAX_UNITARY_QUBITS = 12
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """The ``2^n x 2^n`` unitary implemented by *circuit*.
+
+    The column/row index follows the simulator's flat-index convention
+    (qubit 0 is the most significant position).  Measurements, resets and
+    barriers are rejected (barriers excepted — they are no-ops).
+    """
+    n = circuit.num_qubits
+    if n > MAX_UNITARY_QUBITS:
+        raise SimulationError(
+            f"circuit_unitary limited to {MAX_UNITARY_QUBITS} qubits, got {n}"
+        )
+    dim = 1 << n
+    # Columns of U are the images of basis states; evolve all of them at once
+    # by treating the column index as a trailing batch axis.
+    tensor = np.eye(dim, dtype=np.complex128).reshape((2,) * n + (dim,))
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        if not inst.is_gate:
+            raise SimulationError("circuit_unitary requires a purely unitary circuit")
+        matrix = gate_matrix(inst.name, inst.params)
+        m = len(inst.qubits)
+        moved = np.moveaxis(tensor, list(inst.qubits), range(m))
+        shape = moved.shape
+        moved = matrix @ moved.reshape(1 << m, -1)
+        tensor = np.moveaxis(moved.reshape(shape), range(m), list(inst.qubits))
+    return tensor.reshape(dim, dim)
+
+
+def equal_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, *, atol: float = 1e-9
+) -> bool:
+    """Whether two unitaries differ only by a global phase factor."""
+    if a.shape != b.shape:
+        return False
+    overlap = np.trace(a.conj().T @ b)
+    if abs(overlap) < atol:
+        return False
+    phase = overlap / abs(overlap)
+    return bool(np.allclose(a * phase, b, atol=atol))

@@ -1,0 +1,31 @@
+"""End-to-end workflows built on the middle layer's public API."""
+
+from .job import read_artifacts, run_artifacts, write_artifacts
+from .maxcut import (
+    MaxCutSolution,
+    build_anneal_bundle,
+    build_qaoa_bundle,
+    default_anneal_context,
+    default_gate_context,
+    maxcut_register,
+    ring_coupling_map,
+    solve_maxcut,
+)
+from .qaoa_optimizer import QAOAOptimizationResult, evaluate_angles, optimize_qaoa
+
+__all__ = [
+    "solve_maxcut",
+    "MaxCutSolution",
+    "build_qaoa_bundle",
+    "build_anneal_bundle",
+    "default_gate_context",
+    "default_anneal_context",
+    "maxcut_register",
+    "ring_coupling_map",
+    "optimize_qaoa",
+    "evaluate_angles",
+    "QAOAOptimizationResult",
+    "write_artifacts",
+    "read_artifacts",
+    "run_artifacts",
+]

@@ -1,0 +1,91 @@
+"""Artifact-directory workflows: the QDT.json / QOP.json / CTX.json / job.json flow.
+
+Figures 2 and 3 of the paper show the proof-of-concept moving JSON files
+between the middle-layer components and the backend.  These helpers write and
+read exactly that layout, so the same workflow can be demonstrated (and
+tested) on disk:
+
+```
+<directory>/
+  QDT_<register>.json      one file per quantum data type
+  QOP_<index>_<name>.json  one file per operator descriptor
+  CTX.json                 the execution context
+  job.json                 the packaged submission bundle
+```
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.bundle import JobBundle, package
+from ..core.context import ContextDescriptor
+from ..core.qdt import QuantumDataType
+from ..core.qod import OperatorSequence, QuantumOperatorDescriptor
+from ..core.serialization import load_json, save_json
+from ..backends.base import ExecutionResult
+from ..backends.runtime import submit
+
+__all__ = ["write_artifacts", "read_artifacts", "run_artifacts"]
+
+PathLike = Union[str, Path]
+
+
+def write_artifacts(bundle: JobBundle, directory: PathLike) -> Dict[str, List[str]]:
+    """Write the bundle and its individual descriptors into *directory*.
+
+    Returns a manifest mapping artifact kinds to the written file names.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, List[str]] = {"qdt": [], "qop": [], "ctx": [], "job": []}
+
+    for qdt in bundle.qdts.values():
+        path = directory / f"QDT_{qdt.id}.json"
+        save_json(qdt.to_dict(), path)
+        manifest["qdt"].append(path.name)
+    for index, op in enumerate(bundle.operators):
+        path = directory / f"QOP_{index:03d}_{op.name}.json"
+        save_json(op.to_dict(), path)
+        manifest["qop"].append(path.name)
+    if bundle.context is not None:
+        path = directory / "CTX.json"
+        save_json(bundle.context.to_dict(), path)
+        manifest["ctx"].append(path.name)
+    job_path = directory / "job.json"
+    bundle.save(job_path)
+    manifest["job"].append(job_path.name)
+    save_json(manifest, directory / "manifest.json")
+    return manifest
+
+
+def read_artifacts(directory: PathLike) -> JobBundle:
+    """Rebuild a bundle from an artifact directory.
+
+    The packaged ``job.json`` is authoritative; when absent, the bundle is
+    reassembled from the individual QDT/QOP/CTX files.
+    """
+    directory = Path(directory)
+    job_path = directory / "job.json"
+    if job_path.exists():
+        return JobBundle.load(job_path)
+
+    qdts = [
+        QuantumDataType.from_dict(load_json(path))
+        for path in sorted(directory.glob("QDT_*.json"))
+    ]
+    operators = OperatorSequence(
+        QuantumOperatorDescriptor.from_dict(load_json(path))
+        for path in sorted(directory.glob("QOP_*.json"))
+    )
+    ctx_path = directory / "CTX.json"
+    context: Optional[ContextDescriptor] = (
+        ContextDescriptor.from_dict(load_json(ctx_path)) if ctx_path.exists() else None
+    )
+    return package(qdts, operators, context, name=directory.name)
+
+
+def run_artifacts(directory: PathLike) -> ExecutionResult:
+    """Load the bundle stored in *directory* and submit it."""
+    return submit(read_artifacts(directory))

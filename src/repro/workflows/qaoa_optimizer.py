@@ -1,0 +1,133 @@
+"""Classical outer loop optimising QAOA angles through the middle layer.
+
+The intent artifacts (typed register, problem graph, measurement schema) are
+built once; each optimisation step only re-binds the angles — the late-binding
+pattern of Section 3 — and re-submits the bundle to whatever engine the
+context names.  Both a grid search and a Nelder-Mead refinement (SciPy) are
+provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from ..core.bundle import package
+from ..core.context import ContextDescriptor
+from ..oplib.qaoa import bind_qaoa_parameters, qaoa_sequence
+from ..backends.runtime import submit
+from ..problems.maxcut import MaxCutProblem
+from .maxcut import default_gate_context, maxcut_register
+
+__all__ = ["QAOAOptimizationResult", "evaluate_angles", "optimize_qaoa"]
+
+
+@dataclass
+class QAOAOptimizationResult:
+    """Outcome of a QAOA angle optimisation run."""
+
+    best_gammas: Tuple[float, ...]
+    best_betas: Tuple[float, ...]
+    best_expected_cut: float
+    optimal_cut: float
+    evaluations: int
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def approximation_ratio(self) -> float:
+        return self.best_expected_cut / self.optimal_cut if self.optimal_cut else 0.0
+
+
+def evaluate_angles(
+    problem: MaxCutProblem,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    *,
+    context: Optional[ContextDescriptor] = None,
+    register_id: str = "ising_vars",
+) -> float:
+    """Expected cut of one (gamma, beta) assignment on the configured engine."""
+    qdt = maxcut_register(problem, register_id=register_id)
+    template = qaoa_sequence(qdt, problem.edges, weights=problem.weights, reps=len(gammas))
+    bound = bind_qaoa_parameters(template, list(gammas), list(betas))
+    bundle = package(
+        qdt,
+        bound,
+        context or default_gate_context(problem),
+        name="maxcut-qaoa-eval",
+        producer="repro.workflows.qaoa_optimizer",
+    )
+    result = submit(bundle)
+    decoded = result.decoded().single()
+    distribution = {o.bits: o.probability for o in decoded.outcomes}
+    return problem.expected_cut_from_distribution(distribution)
+
+
+def optimize_qaoa(
+    problem: MaxCutProblem,
+    *,
+    reps: int = 1,
+    context: Optional[ContextDescriptor] = None,
+    grid_resolution: int = 8,
+    refine: bool = True,
+    max_refine_iterations: int = 30,
+    seed: Optional[int] = 7,
+) -> QAOAOptimizationResult:
+    """Optimise the QAOA angles for *problem*.
+
+    Strategy: coarse grid search over ``[0, pi)`` per angle (first layer only;
+    deeper layers reuse the first layer's grid optimum as a starting point),
+    optionally followed by Nelder-Mead refinement of all ``2 * reps`` angles.
+    """
+    optimal_cut, _ = problem.brute_force()
+    history: List[Dict[str, float]] = []
+    evaluations = 0
+
+    def objective(angles: np.ndarray) -> float:
+        nonlocal evaluations
+        gammas = tuple(float(a) for a in angles[:reps])
+        betas = tuple(float(a) for a in angles[reps:])
+        value = evaluate_angles(problem, gammas, betas, context=context)
+        evaluations += 1
+        history.append(
+            {"expected_cut": value, **{f"gamma_{i}": g for i, g in enumerate(gammas)},
+             **{f"beta_{i}": b for i, b in enumerate(betas)}}
+        )
+        return -value
+
+    # Coarse grid over the first layer.
+    grid = np.linspace(0.0, np.pi, grid_resolution, endpoint=False)[1:]
+    best_value = -np.inf
+    best_angles = np.full(2 * reps, np.pi / 8)
+    for gamma in grid:
+        for beta in grid:
+            candidate = np.full(2 * reps, 0.0)
+            candidate[:reps] = gamma
+            candidate[reps:] = beta
+            value = -objective(candidate)
+            if value > best_value:
+                best_value = value
+                best_angles = candidate
+
+    if refine:
+        refinement = sciopt.minimize(
+            objective,
+            best_angles,
+            method="Nelder-Mead",
+            options={"maxiter": max_refine_iterations, "xatol": 1e-3, "fatol": 1e-3},
+        )
+        if -refinement.fun > best_value:
+            best_value = -refinement.fun
+            best_angles = refinement.x
+
+    return QAOAOptimizationResult(
+        best_gammas=tuple(float(a) for a in best_angles[:reps]),
+        best_betas=tuple(float(a) for a in best_angles[reps:]),
+        best_expected_cut=float(best_value),
+        optimal_cut=float(optimal_cut),
+        evaluations=evaluations,
+        history=history,
+    )

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import (
+    AnnealPolicy,
+    ContextDescriptor,
+    ExecPolicy,
+    TargetSpec,
+    ising_register,
+    phase_register,
+)
+from repro.problems import MaxCutProblem
+
+
+@pytest.fixture
+def cycle4():
+    """The paper's proof-of-concept Max-Cut instance."""
+    return MaxCutProblem.cycle(4)
+
+
+@pytest.fixture
+def ising_vars():
+    """The shared ISING_SPIN register of the proof of concept."""
+    return ising_register("ising_vars", 4, name="s")
+
+
+@pytest.fixture
+def reg_phase10():
+    """The width-10 phase register of Listing 2."""
+    return phase_register("reg_phase", 10, name="phase", phase_scale="1/1024")
+
+
+@pytest.fixture
+def gate_context():
+    """A small, fast gate execution context (unconstrained target)."""
+    return ContextDescriptor(
+        exec=ExecPolicy(engine="gate.aer_simulator", samples=2048, seed=7)
+    )
+
+
+@pytest.fixture
+def ring_gate_context():
+    """The Fig. 2 context: ring coupling map, {sx, rz, cx} basis, level 2."""
+    return ContextDescriptor(
+        exec=ExecPolicy(
+            engine="gate.aer_simulator",
+            samples=2048,
+            seed=7,
+            target=TargetSpec(
+                basis_gates=["sx", "rz", "cx"],
+                coupling_map=[(0, 1), (1, 2), (2, 3), (3, 0)],
+            ),
+            options={"optimization_level": 2},
+        )
+    )
+
+
+@pytest.fixture
+def anneal_context():
+    """The Fig. 3 context: simulated annealer, 1000 reads."""
+    return ContextDescriptor(
+        exec=ExecPolicy(engine="anneal.simulated_annealer", samples=1000, seed=7),
+        anneal=AnnealPolicy(num_reads=500, num_sweeps=300, seed=7),
+    )

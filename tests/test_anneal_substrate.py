@@ -1,0 +1,154 @@
+"""Tests for the annealing substrate: BQM, schedules, SA sampler, exact solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.simulators.anneal import (
+    BinaryQuadraticModel,
+    ExactSolver,
+    SimulatedAnnealingSampler,
+    Vartype,
+    beta_schedule,
+    default_beta_range,
+)
+
+
+def cycle_bqm():
+    return BinaryQuadraticModel.from_ising(
+        [0, 0, 0, 0], {(0, 1): 1.0, (1, 2): 1.0, (2, 3): 1.0, (3, 0): 1.0}
+    )
+
+
+def test_bqm_construction_and_energy():
+    bqm = cycle_bqm()
+    assert bqm.num_variables == 4
+    assert bqm.num_interactions == 4
+    assert bqm.energy([1, -1, 1, -1]) == -4.0
+    assert bqm.energy([1, 1, 1, 1]) == 4.0
+    assert bqm.energy({0: 1, 1: -1, 2: 1, 3: -1}) == -4.0
+
+
+def test_bqm_vectorised_energies():
+    bqm = cycle_bqm()
+    samples = np.array([[1, -1, 1, -1], [1, 1, 1, 1], [1, 1, -1, -1]])
+    energies = bqm.energies(samples)
+    assert list(energies) == [-4.0, 4.0, 0.0]
+
+
+def test_bqm_domain_check():
+    bqm = cycle_bqm()
+    with pytest.raises(SimulationError):
+        bqm.energy([0, 1, 0, 1])  # binary values in a SPIN model
+    with pytest.raises(SimulationError):
+        bqm.add_interaction(0, 0, 1.0)
+
+
+def test_vartype_conversion_preserves_energy():
+    bqm = BinaryQuadraticModel.from_ising([0.5, -0.25, 0], {(0, 1): 1.0, (1, 2): -2.0})
+    binary = bqm.change_vartype(Vartype.BINARY)
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        spins = rng.choice([-1, 1], size=3)
+        bits = (spins + 1) // 2
+        assert bqm.energy(spins) == pytest.approx(binary.energy(bits))
+    # Round trip back to SPIN.
+    back = binary.change_vartype(Vartype.SPIN)
+    spins = np.array([1, -1, 1])
+    assert back.energy(spins) == pytest.approx(bqm.energy(spins))
+
+
+def test_qubo_round_trip():
+    bqm = cycle_bqm()
+    Q, offset = bqm.to_qubo()
+    rebuilt = BinaryQuadraticModel.from_qubo(Q, offset)
+    spins = np.array([1, -1, -1, 1])
+    bits = (spins + 1) // 2
+    assert rebuilt.energy(bits) == pytest.approx(bqm.energy(spins))
+
+
+def test_from_graph_and_arrays():
+    bqm = BinaryQuadraticModel.from_graph([(0, 1, 2.0), (1, 2, -1.0)])
+    h, J, offset = bqm.to_arrays()
+    assert h.shape == (3,) and J[0, 1] == 2.0 and J[1, 2] == -1.0 and offset == 0.0
+    assert bqm.get_quadratic(1, 0) == 2.0
+    assert bqm.get_quadratic(0, 2) == 0.0
+
+
+def test_beta_schedule_shapes():
+    geometric = beta_schedule(10, (0.1, 10.0), "geometric")
+    linear = beta_schedule(10, (0.1, 10.0), "linear")
+    assert len(geometric) == len(linear) == 10
+    assert geometric[0] == pytest.approx(0.1) and geometric[-1] == pytest.approx(10.0)
+    assert np.all(np.diff(geometric) > 0) and np.all(np.diff(linear) > 0)
+    with pytest.raises(SimulationError):
+        beta_schedule(5, (1.0, 0.1))
+    with pytest.raises(SimulationError):
+        beta_schedule(5, (0.1, 1.0), "sigmoid")
+
+
+def test_default_beta_range_positive():
+    low, high = default_beta_range(cycle_bqm())
+    assert 0 < low < high
+
+
+def test_exact_solver_ground_states():
+    solver = ExactSolver()
+    bqm = cycle_bqm()
+    assert solver.ground_energy(bqm) == -4.0
+    ground = solver.ground_states(bqm)
+    assert len(ground) == 2
+    assert set(ground.to_counts()) == {"0101", "1010"}
+    spectrum = solver.sample(bqm)
+    assert len(spectrum) == 16
+
+
+def test_exact_solver_limits():
+    solver = ExactSolver()
+    with pytest.raises(SimulationError):
+        solver.sample(BinaryQuadraticModel())
+    big = BinaryQuadraticModel({i: 0.1 for i in range(30)}, {}, 0.0, Vartype.SPIN)
+    with pytest.raises(SimulationError):
+        solver.sample(big)
+
+
+def test_sa_finds_cycle_ground_states():
+    sampler = SimulatedAnnealingSampler()
+    result = sampler.sample(cycle_bqm(), num_reads=200, num_sweeps=200, seed=3)
+    assert result.first.energy == -4.0
+    assert result.ground_state_probability() > 0.8
+    counts = result.to_counts()
+    assert set(counts.most_common(2)[i][0] for i in range(2)) == {"0101", "1010"}
+
+
+def test_sa_respects_seed():
+    sampler = SimulatedAnnealingSampler()
+    a = sampler.sample(cycle_bqm(), num_reads=50, num_sweeps=50, seed=1)
+    b = sampler.sample(cycle_bqm(), num_reads=50, num_sweeps=50, seed=1)
+    assert np.array_equal(a.samples, b.samples)
+
+
+def test_sa_handles_linear_biases():
+    # Strong field pins every spin down (+h favours s = -1).
+    bqm = BinaryQuadraticModel.from_ising([5.0, 5.0, 5.0], {})
+    result = SimulatedAnnealingSampler().sample(bqm, num_reads=50, num_sweeps=100, seed=0)
+    assert tuple(result.first.sample) == (-1, -1, -1)
+
+
+def test_sample_ising_and_qubo_wrappers():
+    sampler = SimulatedAnnealingSampler()
+    ising = sampler.sample_ising([0, 0], {(0, 1): 1.0}, num_reads=20, num_sweeps=50, seed=2)
+    assert ising.first.energy == -1.0
+    qubo = sampler.sample_qubo({(0, 0): -1.0, (1, 1): -1.0, (0, 1): 2.0},
+                               num_reads=20, num_sweeps=50, seed=2)
+    assert qubo.first.energy == pytest.approx(-1.0)
+
+
+def test_sampler_argument_validation():
+    sampler = SimulatedAnnealingSampler()
+    with pytest.raises(SimulationError):
+        sampler.sample(BinaryQuadraticModel(), num_reads=1)
+    with pytest.raises(SimulationError):
+        sampler.sample(cycle_bqm(), num_reads=0)
+    with pytest.raises(SimulationError):
+        sampler.sample(cycle_bqm(), num_reads=2, initial_states=np.zeros((1, 4)))

@@ -1,0 +1,92 @@
+"""Tests for job bundles and the packaging utility."""
+
+import pytest
+
+from repro.core import (
+    ContextDescriptor,
+    ExecPolicy,
+    JobBundle,
+    PackagingError,
+    package,
+)
+from repro.oplib import measurement, prep_uniform, qaoa_sequence
+from repro.workflows import build_anneal_bundle, build_qaoa_bundle
+
+
+def test_package_builds_valid_bundle(ising_vars, cycle4, gate_context):
+    seq = qaoa_sequence(ising_vars, cycle4.edges, gammas=[0.1], betas=[0.2])
+    bundle = package(ising_vars, seq, gate_context, name="poc", producer="tests")
+    assert bundle.name == "poc"
+    assert bundle.total_width == 4
+    assert bundle.engine == "gate.aer_simulator"
+    assert bundle.provenance is not None and bundle.provenance.inputs_digest
+    assert bundle.verify().ok
+
+
+def test_job_json_round_trip(ising_vars, cycle4, gate_context, tmp_path):
+    bundle = build_qaoa_bundle(cycle4, context=gate_context)
+    doc = bundle.to_dict()
+    assert doc["$schema"] == "job.schema.json"
+    rebuilt = JobBundle.from_dict(doc)
+    assert rebuilt.to_dict() == doc
+    path = tmp_path / "job.json"
+    bundle.save(path)
+    assert JobBundle.load(path).digest() == bundle.digest()
+
+
+def test_digest_excludes_provenance(cycle4, gate_context):
+    a = build_qaoa_bundle(cycle4, context=gate_context)
+    b = build_qaoa_bundle(cycle4, context=gate_context)
+    # provenance timestamps differ but the content digest is identical
+    assert a.digest() == b.digest()
+
+
+def test_with_context_retargets_without_touching_intent(cycle4):
+    bundle = build_anneal_bundle(cycle4)
+    retargeted = bundle.with_context(
+        ContextDescriptor(exec=ExecPolicy(engine="exact.brute_force", samples=1))
+    )
+    assert retargeted.engine == "exact.brute_force"
+    assert retargeted.operators.to_list() == bundle.operators.to_list()
+    assert bundle.engine == "anneal.simulated_annealer"
+
+
+def test_empty_bundle_rejected(ising_vars):
+    with pytest.raises(PackagingError):
+        JobBundle(qdts={}, operators=[prep_uniform(ising_vars)])
+    with pytest.raises(PackagingError):
+        JobBundle(qdts={ising_vars.id: ising_vars}, operators=[])
+
+
+def test_register_lookup(ising_vars):
+    bundle = JobBundle(
+        qdts={ising_vars.id: ising_vars},
+        operators=[prep_uniform(ising_vars), measurement(ising_vars)],
+    )
+    assert bundle.register("ising_vars").width == 4
+    with pytest.raises(PackagingError):
+        bundle.register("ghost")
+
+
+def test_package_validation_catches_bad_sequence(ising_vars):
+    # An operator acting after measurement must be refused at packaging time.
+    with pytest.raises(Exception):
+        package(ising_vars, [measurement(ising_vars), prep_uniform(ising_vars)], None)
+
+
+def test_package_accepts_multiple_registers(ising_vars, reg_phase10):
+    from repro.oplib import qft_operator
+
+    bundle = package(
+        [ising_vars, reg_phase10],
+        [prep_uniform(ising_vars), qft_operator(reg_phase10), measurement(ising_vars)],
+        None,
+        validate=True,
+    )
+    assert set(bundle.qdts) == {"ising_vars", "reg_phase"}
+    assert bundle.total_width == 14
+
+
+def test_result_schemas_listed(cycle4):
+    bundle = build_qaoa_bundle(cycle4)
+    assert len(bundle.result_schemas()) == 1

@@ -1,0 +1,58 @@
+"""Tests for cost hints and their composition algebra."""
+
+from repro.core import CostHint
+
+
+def test_to_from_dict_round_trip():
+    hint = CostHint(twoq=45, depth=100, extras={"note": "listing3"})
+    doc = hint.to_dict()
+    assert doc == {"twoq": 45, "depth": 100, "extras": {"note": "listing3"}}
+    rebuilt = CostHint.from_dict(doc)
+    assert rebuilt.twoq == 45 and rebuilt.depth == 100
+    assert CostHint.from_dict(None) is None
+    assert CostHint.from_dict({}) is None
+
+
+def test_unknown_keys_preserved_in_extras():
+    hint = CostHint.from_dict({"twoq": 3, "t_count": 17})
+    assert hint.extras["t_count"] == 17
+
+
+def test_sequential_composition_adds():
+    a = CostHint(twoq=10, depth=5, oneq=2)
+    b = CostHint(twoq=3, depth=4)
+    combined = a + b
+    assert combined.twoq == 13
+    assert combined.depth == 9
+    assert combined.oneq == 2  # missing treated as zero
+
+
+def test_parallel_composition_takes_max_depth():
+    a = CostHint(twoq=10, depth=5)
+    b = CostHint(twoq=3, depth=9)
+    combined = a.parallel(b)
+    assert combined.twoq == 13
+    assert combined.depth == 9
+
+
+def test_missing_fields_stay_missing():
+    combined = CostHint() + CostHint()
+    assert combined.is_empty()
+    assert combined.twoq is None
+
+
+def test_scaled():
+    hint = CostHint(twoq=4, depth=2).scaled(3)
+    assert hint.twoq == 12 and hint.depth == 6
+
+
+def test_total_ignores_none():
+    total = CostHint.total([CostHint(twoq=1), None, CostHint(twoq=2, depth=7)])
+    assert total.twoq == 3 and total.depth == 7
+
+
+def test_get_with_default():
+    hint = CostHint(twoq=4)
+    assert hint.get("twoq") == 4.0
+    assert hint.get("depth") == 0.0
+    assert hint.get("depth", 1.5) == 1.5

@@ -1,0 +1,72 @@
+"""Tests for counts histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecodingError
+from repro.results import Counts
+
+
+def test_basic_statistics():
+    counts = Counts({"00": 600, "11": 400})
+    assert counts.shots == 1000
+    assert counts.num_clbits == 2
+    assert counts.probability("00") == 0.6
+    assert counts.probability("01") == 0.0
+    assert counts.argmax() == "00"
+    assert counts.most_common(1) == [("00", 600)]
+    probs = counts.probabilities()
+    assert abs(sum(probs.values()) - 1.0) < 1e-12
+
+
+def test_invalid_keys_rejected():
+    with pytest.raises(DecodingError):
+        Counts({"0x": 1})
+    with pytest.raises(DecodingError):
+        Counts({"00": 1, "000": 1})
+    with pytest.raises(DecodingError):
+        Counts({"00": -1})
+
+
+def test_zero_counts_dropped():
+    counts = Counts({"00": 0, "11": 5})
+    assert "00" not in counts and counts.shots == 5
+
+
+def test_from_samples_and_array():
+    counts = Counts.from_samples(["01", "01", "10"])
+    assert counts["01"] == 2 and counts["10"] == 1
+    array_counts = Counts.from_array(np.array([[0, 1], [0, 1], [1, 0]]))
+    assert dict(array_counts) == dict(counts)
+
+
+def test_marginal():
+    counts = Counts({"010": 3, "011": 5, "110": 2})
+    marginal = counts.marginal([0, 1])
+    assert marginal["01"] == 8 and marginal["11"] == 2
+    reordered = counts.marginal([2, 0])
+    assert reordered["00"] == 3 and reordered["10"] == 5 and reordered["01"] == 2
+    with pytest.raises(DecodingError):
+        counts.marginal([5])
+
+
+def test_merge():
+    merged = Counts({"0": 1}).merge(Counts({"0": 2, "1": 3}))
+    assert merged["0"] == 3 and merged["1"] == 3
+    with pytest.raises(DecodingError):
+        Counts({"0": 1}).merge(Counts({"00": 1}))
+
+
+def test_expectation():
+    counts = Counts({"00": 500, "11": 500})
+    parity = counts.expectation(lambda bits: 1.0 if bits.count("1") % 2 == 0 else -1.0)
+    assert parity == 1.0
+    with pytest.raises(DecodingError):
+        Counts({}).expectation(lambda b: 1.0)
+
+
+def test_mapping_protocol():
+    counts = Counts({"0": 1, "1": 2})
+    assert len(counts) == 2
+    assert set(counts) == {"0", "1"}
+    assert counts.to_dict() == {"0": 1, "1": 2}

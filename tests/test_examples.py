@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Only the fast examples are executed here (the full set is exercised manually /
+in CI); each one must complete without raising and print its headline result.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=None, capsys=None):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + list(argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return module
+
+
+def test_quickstart_example(capsys):
+    run_example("quickstart.py")
+    output = capsys.readouterr().out
+    assert "Both backends found the optimal cuts 1010 / 0101: True" in output
+
+
+def test_qec_context_sweep_example(capsys):
+    run_example("qec_context_sweep.py")
+    output = capsys.readouterr().out
+    assert "distance 7" in output
+    assert "388" in output  # 4 logical patches x 97 physical qubits
+
+
+def test_distributed_partitioning_example(capsys):
+    run_example("distributed_partitioning.py")
+    output = capsys.readouterr().out
+    assert "predicted makespan" in output
+
+
+def test_maxcut_portability_example(tmp_path, capsys):
+    run_example("maxcut_portability.py", argv=[str(tmp_path / "artifacts")])
+    output = capsys.readouterr().out
+    assert "job.json" in output
+    assert (tmp_path / "artifacts" / "gate_path" / "job.json").exists()
+    assert (tmp_path / "artifacts" / "anneal_path" / "CTX.json").exists()

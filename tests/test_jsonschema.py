@@ -1,0 +1,115 @@
+"""Tests for the embedded JSON Schema validator."""
+
+import pytest
+
+from repro.core.errors import SchemaValidationError
+from repro.core.jsonschema import JSONSchemaValidator, is_valid, iter_errors, validate
+
+
+def test_type_checks():
+    assert is_valid(3, {"type": "integer"})
+    assert is_valid(3.5, {"type": "number"})
+    assert not is_valid(3.5, {"type": "integer"})
+    assert not is_valid(True, {"type": "integer"})  # bools are not integers here
+    assert is_valid("x", {"type": "string"})
+    assert is_valid(None, {"type": "null"})
+    assert is_valid([1, 2], {"type": "array"})
+    assert is_valid({"a": 1}, {"type": "object"})
+
+
+def test_union_types():
+    schema = {"type": ["string", "integer"]}
+    assert is_valid("x", schema)
+    assert is_valid(4, schema)
+    assert not is_valid(4.5, schema)
+
+
+def test_required_and_additional_properties():
+    schema = {
+        "type": "object",
+        "properties": {"a": {"type": "integer"}},
+        "required": ["a"],
+        "additionalProperties": False,
+    }
+    validate({"a": 1}, schema)
+    with pytest.raises(SchemaValidationError):
+        validate({}, schema)
+    with pytest.raises(SchemaValidationError):
+        validate({"a": 1, "b": 2}, schema)
+
+
+def test_nested_property_error_path():
+    schema = {
+        "type": "object",
+        "properties": {"exec": {"type": "object", "properties": {"samples": {"type": "integer"}}}},
+    }
+    errors = list(iter_errors({"exec": {"samples": "lots"}}, schema))
+    assert errors and "$.exec.samples" in errors[0].path
+
+
+def test_enum_and_const():
+    assert is_valid("LSB_0", {"enum": ["LSB_0", "MSB_0"]})
+    assert not is_valid("MIDDLE", {"enum": ["LSB_0", "MSB_0"]})
+    assert is_valid(7, {"const": 7})
+    assert not is_valid(8, {"const": 7})
+
+
+def test_array_items_and_bounds():
+    schema = {"type": "array", "items": {"type": "integer"}, "minItems": 1, "maxItems": 3}
+    validate([1, 2], schema)
+    with pytest.raises(SchemaValidationError):
+        validate([], schema)
+    with pytest.raises(SchemaValidationError):
+        validate([1, 2, 3, 4], schema)
+    with pytest.raises(SchemaValidationError):
+        validate([1, "x"], schema)
+
+
+def test_number_bounds():
+    schema = {"type": "number", "minimum": 0, "exclusiveMaximum": 1}
+    validate(0, schema)
+    validate(0.99, schema)
+    with pytest.raises(SchemaValidationError):
+        validate(1, schema)
+    with pytest.raises(SchemaValidationError):
+        validate(-0.1, schema)
+
+
+def test_string_constraints():
+    schema = {"type": "string", "minLength": 2, "pattern": r"^\d+/\d+$"}
+    validate("1/1024", schema)
+    with pytest.raises(SchemaValidationError):
+        validate("x", schema)
+    with pytest.raises(SchemaValidationError):
+        validate("abc", schema)
+
+
+def test_anyof_oneof_not():
+    any_schema = {"anyOf": [{"type": "string"}, {"type": "integer"}]}
+    assert is_valid("x", any_schema)
+    assert not is_valid(1.5, any_schema)
+    one_schema = {"oneOf": [{"type": "number"}, {"type": "integer"}]}
+    assert is_valid(1.5, one_schema)  # matches only "number"
+    assert not is_valid(2, one_schema)  # matches both -> fails oneOf
+    not_schema = {"not": {"type": "string"}}
+    assert is_valid(3, not_schema)
+    assert not is_valid("x", not_schema)
+
+
+def test_local_ref_resolution():
+    schema = {
+        "definitions": {"positive": {"type": "integer", "minimum": 1}},
+        "type": "object",
+        "properties": {"width": {"$ref": "#/definitions/positive"}},
+    }
+    validator = JSONSchemaValidator(schema)
+    assert validator.is_valid({"width": 3})
+    assert not validator.is_valid({"width": 0})
+
+
+def test_false_schema_rejects_everything():
+    schema = {"type": "object", "properties": {"x": False}}
+    assert is_valid({}, schema)  # absent property is fine
+    assert not is_valid({"x": 1}, schema)
+    errors = list(iter_errors({"x": 1}, schema))
+    assert errors and "forbids" in errors[0].message

@@ -1,0 +1,264 @@
+"""Tests for the algorithmic libraries (descriptor constructors)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CompatibilityError, DescriptorError, integer_register, ising_register, phase_register
+from repro.oplib import (
+    adder_operator,
+    bind_parameters,
+    bind_qaoa_parameters,
+    comparator_operator,
+    compose,
+    controlled_operator,
+    controlled_phase_operator,
+    cswap_operator,
+    estimate_cost,
+    invert,
+    ising_problem_from_graph,
+    ising_problem_operator,
+    measurement,
+    mixer_layer,
+    modular_adder_operator,
+    modular_multiplier_operator,
+    multiplexer_operator,
+    prep_amplitude,
+    prep_angle,
+    prep_basis_state,
+    prep_uniform,
+    qaoa_parameter_names,
+    qaoa_sequence,
+    qft_operator,
+    qpe_operator,
+    qubo_problem_operator,
+    swap_test_operator,
+    unbound_parameters,
+)
+from repro.problems import cycle_graph
+
+
+# -- QFT ------------------------------------------------------------------------
+
+def test_qft_descriptor_matches_listing3(reg_phase10):
+    op = qft_operator(reg_phase10)
+    assert op.rep_kind == "QFT_TEMPLATE"
+    assert op.params == {"approx_degree": 0, "do_swaps": True, "inverse": False}
+    # Listing 3 quotes roughly 45 two-qubit gates and depth near 100 for width 10.
+    assert op.cost_hint.twoq == 45 + 3 * 5  # controlled phases + swap decomposition
+    assert 90 <= op.cost_hint.depth <= 110
+    assert op.result_schema.num_clbits == 10
+
+
+def test_qft_approximation_reduces_cost(reg_phase10):
+    exact = qft_operator(reg_phase10, approx_degree=0, do_swaps=False)
+    approx = qft_operator(reg_phase10, approx_degree=3, do_swaps=False)
+    assert approx.cost_hint.twoq < exact.cost_hint.twoq
+    with pytest.raises(ValueError):
+        qft_operator(reg_phase10, approx_degree=10)
+
+
+def test_inverse_qft(reg_phase10):
+    from repro.oplib import inverse_qft_operator
+
+    op = inverse_qft_operator(reg_phase10)
+    assert op.params["inverse"] is True
+
+
+# -- state preparation -----------------------------------------------------------
+
+def test_prep_uniform_and_basis_state(ising_vars):
+    uniform = prep_uniform(ising_vars)
+    assert uniform.cost_hint.oneq == 4
+    reg = integer_register("n", 3)
+    basis = prep_basis_state(reg, 5)
+    assert basis.params["bits"] == "101"
+    with pytest.raises(DescriptorError):
+        prep_basis_state(reg, 9)  # out of range for 3 bits
+
+
+def test_prep_amplitude_validation():
+    reg = integer_register("n", 2)
+    op = prep_amplitude(reg, [1, 1, 1, 1], normalize=True)
+    norms = [complex(re, im) for re, im in op.params["amplitudes"]]
+    assert abs(sum(abs(a) ** 2 for a in norms) - 1.0) < 1e-9
+    with pytest.raises(DescriptorError):
+        prep_amplitude(reg, [1, 0, 0])  # wrong length
+    with pytest.raises(DescriptorError):
+        prep_amplitude(reg, [0, 0, 0, 0])
+    with pytest.raises(DescriptorError):
+        prep_amplitude(reg, [0.9, 0, 0, 0], normalize=False)
+
+
+def test_prep_angle_validation(ising_vars):
+    op = prep_angle(ising_vars, [0.1, 0.2, 0.3, 0.4])
+    assert op.params["angles"] == [0.1, 0.2, 0.3, 0.4]
+    with pytest.raises(DescriptorError):
+        prep_angle(ising_vars, [0.1])
+
+
+# -- Ising / QUBO -----------------------------------------------------------------
+
+def test_ising_problem_from_edges(ising_vars):
+    op = ising_problem_operator(ising_vars, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    assert op.rep_kind == "ISING_PROBLEM"
+    assert op.params["h"] == [0.0] * 4
+    assert len(op.params["edges"]) == 4
+    J = np.array(op.params["J"])
+    assert J[0, 1] == 1.0 and J[2, 3] == 1.0
+    assert op.cost_hint.variables == 4 and op.cost_hint.couplers == 4
+
+
+def test_ising_problem_from_symmetric_matrix(ising_vars):
+    J = np.zeros((4, 4))
+    for i, j in [(0, 1), (1, 2), (2, 3), (0, 3)]:
+        J[i, j] = J[j, i] = 1.0
+    op = ising_problem_operator(ising_vars, J=J.tolist())
+    assert sorted(tuple(e) for e in op.params["edges"]) == [(0, 1), (0, 3), (1, 2), (2, 3)]
+    assert all(w == 1.0 for w in op.params["weights"])
+
+
+def test_ising_problem_from_graph(ising_vars):
+    op = ising_problem_from_graph(ising_vars, cycle_graph(4))
+    assert len(op.params["edges"]) == 4
+
+
+def test_ising_problem_validation(ising_vars):
+    with pytest.raises(DescriptorError):
+        ising_problem_operator(ising_vars)  # neither J nor edges
+    with pytest.raises(DescriptorError):
+        ising_problem_operator(ising_vars, edges=[(0, 9)])
+    with pytest.raises(DescriptorError):
+        ising_problem_operator(ising_vars, edges=[(0, 1)], h=[0.0])
+
+
+def test_qubo_problem(ising_vars):
+    op = qubo_problem_operator(ising_vars, {(0, 0): -1.0, (0, 1): 2.0})
+    assert op.rep_kind == "QUBO_PROBLEM"
+    Q = np.array(op.params["Q"])
+    assert Q[0, 0] == -1.0 and Q[0, 1] == 2.0
+
+
+# -- QAOA ---------------------------------------------------------------------------
+
+def test_qaoa_sequence_structure(ising_vars, cycle4):
+    seq = qaoa_sequence(ising_vars, cycle4.edges, gammas=[0.1, 0.2], betas=[0.3, 0.4])
+    kinds = [op.rep_kind for op in seq]
+    assert kinds == [
+        "PREP_UNIFORM",
+        "ISING_COST_PHASE", "MIXER_RX",
+        "ISING_COST_PHASE", "MIXER_RX",
+        "MEASUREMENT",
+    ]
+    assert seq[1].params["gamma"] == 0.1 and seq[3].params["gamma"] == 0.2
+    assert seq.measurements()[0].result_schema is not None
+
+
+def test_qaoa_late_binding(ising_vars, cycle4):
+    seq = qaoa_sequence(ising_vars, cycle4.edges, reps=2)
+    assert qaoa_parameter_names(seq) == ["gamma_0", "beta_0", "gamma_1", "beta_1"]
+    assert unbound_parameters(seq)
+    bound = bind_qaoa_parameters(seq, [0.1, 0.2], [0.3, 0.4])
+    assert not unbound_parameters(bound)
+    assert bound[1].params["gamma"] == 0.1
+    with pytest.raises(DescriptorError):
+        bind_qaoa_parameters(seq, [0.1], [0.3, 0.4])
+
+
+def test_qaoa_argument_validation(ising_vars, cycle4):
+    with pytest.raises(DescriptorError):
+        qaoa_sequence(ising_vars, cycle4.edges, gammas=[0.1], betas=[0.1, 0.2])
+    with pytest.raises(DescriptorError):
+        qaoa_sequence(ising_vars, cycle4.edges, reps=0)
+    # Unbound layers are allowed at construction time (late binding)...
+    assert "beta" not in mixer_layer(ising_vars, beta=None).params
+    # ...and binding by operator name through the generic helper also works.
+    seq = qaoa_sequence(ising_vars, cycle4.edges, reps=1)
+    bound = bind_parameters(
+        seq, {"cost_layer_0": {"gamma": 0.5}, "mixer_layer_0": {"beta": 0.25}}
+    )
+    assert bound[1].params["gamma"] == 0.5
+
+
+# -- arithmetic -----------------------------------------------------------------------
+
+def test_arithmetic_constructors():
+    reg = integer_register("n", 4)
+    add = adder_operator(reg, 5)
+    assert add.params["addend"] == 5 and add.cost_hint.twoq > 0
+    mod_add = modular_adder_operator(reg, 3, 7)
+    assert mod_add.params["modulus"] == 7
+    mod_mult = modular_multiplier_operator(reg, 3, 7)
+    assert mod_mult.params["multiplier"] == 3
+    flag = ising_register("flag", 1)
+    comp = comparator_operator(reg, flag, 6)
+    assert comp.params["threshold"] == 6
+
+
+def test_arithmetic_validation(ising_vars):
+    reg = integer_register("n", 3)
+    with pytest.raises(DescriptorError):
+        adder_operator(ising_vars, 2)  # not integer-like
+    with pytest.raises(DescriptorError):
+        modular_adder_operator(reg, 1, 20)  # modulus too large
+    with pytest.raises(DescriptorError):
+        modular_multiplier_operator(reg, 2, 4)  # not coprime
+    with pytest.raises(DescriptorError):
+        comparator_operator(reg, integer_register("flag", 2), 1)
+
+
+# -- boolean / phase ----------------------------------------------------------------------
+
+def test_boolean_constructors(ising_vars):
+    control = ising_register("ctrl", 1)
+    mixer = mixer_layer(ising_vars, beta=0.2)
+    controlled = controlled_operator(control, mixer, [ising_vars])
+    assert controlled.params["target_rep_kind"] == "MIXER_RX"
+    a, b = ising_register("ra", 2), ising_register("rb", 2)
+    cswap = cswap_operator(control, a, b)
+    assert cswap.rep_kind == "CSWAP_TEMPLATE"
+    mux = multiplexer_operator(integer_register("sel", 1), {0: mixer, 1: mixer}, [ising_vars])
+    assert "cases" in mux.params
+    with pytest.raises(DescriptorError):
+        controlled_operator(control, measurement(ising_vars), [ising_vars])
+    with pytest.raises(DescriptorError):
+        cswap_operator(control, a, ising_register("rc", 3))
+
+
+def test_phase_constructors(reg_phase10):
+    target = integer_register("t", 1)
+    cp = controlled_phase_operator(reg_phase10, target, math.pi / 4, control_index=2)
+    assert cp.params["control"] == "reg_phase[2]"
+    ancilla = ising_register("anc", 1)
+    a, b = integer_register("a", 2), integer_register("b", 2)
+    st = swap_test_operator(a, b, ancilla)
+    assert st.result_schema is not None and st.info.measures
+    qpe = qpe_operator(reg_phase10, target, cp)
+    assert qpe.params["unitary"]["rep_kind"] == "CONTROLLED_PHASE"
+    with pytest.raises(DescriptorError):
+        qpe_operator(integer_register("x", 2), target, cp)
+
+
+# -- composition ------------------------------------------------------------------------------
+
+def test_compose_and_invert(reg_phase10, ising_vars):
+    seq = compose(
+        prep_uniform(ising_vars),
+        qft_operator(reg_phase10),
+        measurement(ising_vars),
+        qdts={"ising_vars": ising_vars, "reg_phase": reg_phase10},
+    )
+    assert len(seq) == 3
+    with pytest.raises(CompatibilityError):
+        compose(measurement(ising_vars), prep_uniform(ising_vars))
+    unitary_only = compose(prep_uniform(ising_vars), qft_operator(reg_phase10))
+    inverted = invert(unitary_only)
+    assert [op.rep_kind for op in inverted] == ["QFT_TEMPLATE", "PREP_UNIFORM"]
+
+
+def test_estimate_cost_unknown_kind(ising_vars):
+    from repro.core import QuantumOperatorDescriptor
+
+    op = QuantumOperatorDescriptor(name="x", rep_kind="TOTALLY_NEW", domain_qdt=ising_vars.id)
+    assert estimate_cost(op, {ising_vars.id: ising_vars}) is None

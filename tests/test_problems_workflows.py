@@ -1,0 +1,164 @@
+"""Tests for the problem library and the end-to-end workflows (the PoC)."""
+
+import pytest
+
+from repro.core import DescriptorError
+from repro.problems import MaxCutProblem, cycle_graph, grid_graph, random_graph, weighted_from_edges
+from repro.workflows import (
+    build_anneal_bundle,
+    build_qaoa_bundle,
+    default_anneal_context,
+    default_gate_context,
+    maxcut_register,
+    read_artifacts,
+    ring_coupling_map,
+    run_artifacts,
+    solve_maxcut,
+    write_artifacts,
+)
+
+
+# -- graphs & Max-Cut ------------------------------------------------------------------
+
+def test_graph_generators():
+    assert cycle_graph(4).number_of_edges() == 4
+    assert grid_graph(2, 3).number_of_nodes() == 6
+    g = random_graph(6, 0.5, seed=1, weighted=True)
+    assert all("weight" in d for _, _, d in g.edges(data=True))
+    w = weighted_from_edges([(0, 1, 2.5)])
+    assert w[0][1]["weight"] == 2.5
+    with pytest.raises(DescriptorError):
+        cycle_graph(2)
+    with pytest.raises(DescriptorError):
+        random_graph(4, 1.5)
+
+
+def test_maxcut_cut_values(cycle4):
+    assert cycle4.total_weight == 4.0
+    assert cycle4.cut_value("0101") == 4.0
+    assert cycle4.cut_value("0011") == 2.0
+    assert cycle4.cut_value("0000") == 0.0
+    assert cycle4.cut_value([1, -1, 1, -1]) == 4.0  # spin labels accepted
+    with pytest.raises(DescriptorError):
+        cycle4.cut_value("01")
+    with pytest.raises(DescriptorError):
+        cycle4.cut_value([0, 1, 2, 3])
+
+
+def test_maxcut_energy_cut_conversion(cycle4):
+    assert cycle4.cut_from_energy(-4.0) == 4.0
+    assert cycle4.energy_from_cut(4.0) == -4.0
+    assert cycle4.cut_from_energy(cycle4.energy_from_cut(2.5)) == 2.5
+
+
+def test_maxcut_brute_force(cycle4):
+    best, assignments = cycle4.brute_force()
+    assert best == 4.0
+    labels = {"".join(str(b) for b in a) for a in assignments}
+    assert labels == {"0101", "1010"}
+    assert cycle4.approximation_ratio(3.0) == pytest.approx(0.75)
+
+
+def test_maxcut_baselines(cycle4):
+    greedy_value, greedy_labels = cycle4.greedy(seed=0, restarts=3)
+    assert greedy_value == 4.0
+    spectral_value, _ = cycle4.spectral()
+    assert spectral_value >= 2.0
+    random_value, _ = cycle4.random_assignment(seed=0)
+    assert 0.0 <= random_value <= 4.0
+
+
+def test_maxcut_requires_contiguous_nodes():
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_edge(1, 5)
+    with pytest.raises(DescriptorError):
+        MaxCutProblem(graph)
+
+
+def test_expected_cut_from_distribution(cycle4):
+    dist = {"0101": 0.5, "0000": 0.5}
+    assert cycle4.expected_cut_from_distribution(dist) == 2.0
+    with pytest.raises(DescriptorError):
+        cycle4.expected_cut_from_distribution({})
+
+
+# -- workflows -------------------------------------------------------------------------------
+
+def test_maxcut_register_matches_paper(cycle4):
+    reg = maxcut_register(cycle4)
+    doc = reg.to_dict()
+    assert doc["id"] == "ising_vars" and doc["name"] == "s"
+    assert doc["width"] == 4
+    assert doc["encoding_kind"] == "ISING_SPIN"
+    assert doc["bit_order"] == "LSB_0"
+    assert doc["measurement_semantics"] == "AS_BOOL"
+    assert ring_coupling_map(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+
+def test_bundles_share_the_same_register(cycle4):
+    gate_bundle = build_qaoa_bundle(cycle4)
+    anneal_bundle = build_anneal_bundle(cycle4)
+    assert gate_bundle.qdts["ising_vars"].to_dict() == anneal_bundle.qdts["ising_vars"].to_dict()
+    assert gate_bundle.engine.startswith("gate.")
+    assert anneal_bundle.engine.startswith("anneal.")
+
+
+def test_solve_maxcut_gate_path(cycle4):
+    ctx = default_gate_context(cycle4, samples=2048, seed=11, constrain_target=False)
+    solution = solve_maxcut(cycle4, formulation="qaoa", context=ctx)
+    assert solution.found_optimum
+    assert set(solution.best_assignments) == {"0101", "1010"}
+    # Paper: expected cut ~ 3.0-3.2 for the basic settings.
+    assert 2.8 <= solution.expected_cut <= 3.3
+    assert 0.7 <= solution.approximation_ratio <= 0.85
+
+
+def test_solve_maxcut_anneal_path(cycle4):
+    ctx = default_anneal_context(num_reads=400, num_sweeps=300, seed=11)
+    solution = solve_maxcut(cycle4, formulation="ising", context=ctx)
+    assert solution.found_optimum
+    assert set(solution.best_assignments) == {"0101", "1010"}
+    assert solution.expected_cut > 3.5
+
+
+def test_solve_maxcut_unknown_formulation(cycle4):
+    with pytest.raises(ValueError):
+        solve_maxcut(cycle4, formulation="photonic")
+
+
+def test_artifact_directory_round_trip(cycle4, tmp_path, gate_context):
+    bundle = build_qaoa_bundle(cycle4, context=gate_context)
+    manifest = write_artifacts(bundle, tmp_path / "poc")
+    assert len(manifest["qdt"]) == 1
+    assert len(manifest["qop"]) == len(bundle.operators)
+    assert manifest["ctx"] == ["CTX.json"]
+    assert manifest["job"] == ["job.json"]
+    rebuilt = read_artifacts(tmp_path / "poc")
+    assert rebuilt.digest() == bundle.digest()
+    result = run_artifacts(tmp_path / "poc")
+    assert result.counts.shots == gate_context.samples
+
+
+def test_artifacts_without_job_json(cycle4, tmp_path, gate_context):
+    bundle = build_qaoa_bundle(cycle4, context=gate_context)
+    write_artifacts(bundle, tmp_path / "poc")
+    (tmp_path / "poc" / "job.json").unlink()
+    rebuilt = read_artifacts(tmp_path / "poc")
+    assert len(rebuilt.operators) == len(bundle.operators)
+    assert rebuilt.context is not None
+
+
+def test_qaoa_optimizer_improves_over_bad_angles(cycle4):
+    from repro.workflows import evaluate_angles, optimize_qaoa
+
+    ctx = default_gate_context(cycle4, samples=1024, seed=3, constrain_target=False,
+                               optimization_level=1)
+    bad = evaluate_angles(cycle4, [0.01], [0.01], context=ctx)
+    result = optimize_qaoa(cycle4, reps=1, context=ctx, grid_resolution=5, refine=False)
+    assert result.best_expected_cut > bad
+    assert result.best_expected_cut > 2.4
+    assert result.evaluations == len(result.history) > 0
+    assert result.optimal_cut == 4.0
+    assert 0 < result.approximation_ratio <= 1.0

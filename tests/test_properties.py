@@ -1,0 +1,198 @@
+"""Property-based tests (Hypothesis) for the core data structures and invariants."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BitOrder,
+    CostHint,
+    QuantumDataType,
+    ResultSchema,
+    integer_register,
+    ising_register,
+    phase_register,
+)
+from repro.results import Counts, decode_counts
+from repro.simulators.anneal import BinaryQuadraticModel, Vartype
+from repro.simulators.gate import Circuit, Statevector, circuit_unitary, equal_up_to_global_phase
+from repro.simulators.gate.transpiler import decompose_to_basis, optimize_circuit
+
+# Keep Hypothesis example counts modest: several properties simulate circuits.
+settings.register_profile("repro", max_examples=25, deadline=None)
+settings.load_profile("repro")
+
+
+# -- QDT encode/decode round trips -----------------------------------------------------
+
+@given(width=st.integers(1, 10), value=st.integers(0, 2**10 - 1),
+       order=st.sampled_from([BitOrder.LSB_0, BitOrder.MSB_0]))
+def test_integer_encode_decode_round_trip(width, value, order):
+    value = value % (1 << width)
+    reg = integer_register("r", width, bit_order=order)
+    assert reg.decode_bits(reg.encode_value(value)) == value
+
+
+@given(width=st.integers(1, 10), index=st.integers(0, 2**10 - 1))
+def test_bits_index_bijection(width, index):
+    index = index % (1 << width)
+    reg = integer_register("r", width)
+    bits = reg.index_to_bits(index)
+    assert len(bits) == width
+    assert reg.bits_to_index(bits) == index
+
+
+@given(width=st.integers(1, 8), numerator=st.integers(0, 255))
+def test_phase_encode_decode_round_trip(width, numerator):
+    reg = phase_register("p", width)
+    value = Fraction(numerator % (1 << width), 1 << width)
+    assert reg.decode_bits(reg.encode_value(value)) == value
+
+
+@given(width=st.integers(1, 8), data=st.data())
+def test_spin_encode_decode_round_trip(width, data):
+    spins = tuple(data.draw(st.sampled_from([-1, 1])) for _ in range(width))
+    reg = ising_register("s", width, measurement_semantics="AS_SPIN")
+    assert reg.decode_bits(reg.encode_value(spins)) == spins
+
+
+# -- cost hint algebra ------------------------------------------------------------------
+
+cost_hints = st.builds(
+    CostHint,
+    twoq=st.one_of(st.none(), st.floats(0, 1e4)),
+    depth=st.one_of(st.none(), st.floats(0, 1e4)),
+    oneq=st.one_of(st.none(), st.floats(0, 1e4)),
+)
+
+
+@given(a=cost_hints, b=cost_hints)
+def test_sequential_composition_is_commutative_in_totals(a, b):
+    ab, ba = a + b, b + a
+    assert ab.get("twoq") == ba.get("twoq")
+    assert ab.get("depth") == ba.get("depth")
+
+
+@given(a=cost_hints, b=cost_hints, c=cost_hints)
+def test_sequential_composition_is_associative(a, b, c):
+    left = (a + b) + c
+    right = a + (b + c)
+    for name in ("twoq", "depth", "oneq"):
+        assert math.isclose(left.get(name), right.get(name), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(a=cost_hints, b=cost_hints)
+def test_parallel_depth_never_exceeds_sequential(a, b):
+    assert a.parallel(b).get("depth") <= a.sequential(b).get("depth") + 1e-9
+
+
+# -- counts / decoding ----------------------------------------------------------------------
+
+bitstrings4 = st.text(alphabet="01", min_size=4, max_size=4)
+
+
+@given(data=st.dictionaries(bitstrings4, st.integers(1, 50), min_size=1, max_size=16))
+def test_counts_probabilities_sum_to_one(data):
+    counts = Counts(data)
+    assert math.isclose(sum(counts.probabilities().values()), 1.0, rel_tol=1e-12)
+    assert counts.shots == sum(data.values())
+
+
+@given(data=st.dictionaries(bitstrings4, st.integers(1, 50), min_size=1, max_size=16))
+def test_marginal_preserves_shots(data):
+    counts = Counts(data)
+    assert counts.marginal([0, 2]).shots == counts.shots
+
+
+@given(data=st.dictionaries(bitstrings4, st.integers(1, 50), min_size=1, max_size=16))
+def test_decoding_preserves_probability_mass(data):
+    reg = ising_register("s", 4)
+    schema = ResultSchema.for_register(reg)
+    decoded = decode_counts(Counts(data), schema, {"s": reg})
+    total = sum(o.probability for o in decoded["s"].outcomes)
+    assert math.isclose(total, 1.0, rel_tol=1e-12)
+
+
+# -- BQM invariants -----------------------------------------------------------------------------
+
+@st.composite
+def small_ising(draw):
+    n = draw(st.integers(2, 6))
+    h = [draw(st.floats(-2, 2)) for _ in range(n)]
+    edges = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges[(i, j)] = draw(st.floats(-2, 2))
+    return BinaryQuadraticModel.from_ising(h, edges)
+
+
+@given(bqm=small_ising(), data=st.data())
+def test_vartype_conversion_preserves_energies(bqm, data):
+    spins = np.array([data.draw(st.sampled_from([-1, 1])) for _ in range(bqm.num_variables)])
+    binary = bqm.change_vartype(Vartype.BINARY)
+    bits = (spins + 1) // 2
+    assert math.isclose(bqm.energy(spins), binary.energy(bits), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(bqm=small_ising())
+def test_energies_match_scalar_energy(bqm):
+    rng = np.random.default_rng(0)
+    samples = rng.choice([-1, 1], size=(8, bqm.num_variables))
+    vectorised = bqm.energies(samples)
+    scalar = [bqm.energy(row) for row in samples]
+    assert np.allclose(vectorised, scalar)
+
+
+# -- circuit / transpiler invariants ----------------------------------------------------------------
+
+@st.composite
+def random_circuits(draw):
+    n = draw(st.integers(2, 4))
+    circuit = Circuit(n)
+    num_ops = draw(st.integers(1, 12))
+    for _ in range(num_ops):
+        kind = draw(st.sampled_from(["h", "x", "rz", "rx", "cx", "cp", "swap"]))
+        if kind in ("h", "x"):
+            circuit.append(kind, [draw(st.integers(0, n - 1))])
+        elif kind in ("rz", "rx"):
+            circuit.append(kind, [draw(st.integers(0, n - 1))], [draw(st.floats(-3, 3))])
+        else:
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 1).filter(lambda x: x != a))
+            params = [draw(st.floats(-3, 3))] if kind == "cp" else []
+            circuit.append(kind, [a, b], params)
+    return circuit
+
+
+@given(circuit=random_circuits())
+def test_decomposition_preserves_unitary(circuit):
+    decomposed = decompose_to_basis(circuit, ["sx", "rz", "cx"])
+    assert equal_up_to_global_phase(
+        circuit_unitary(circuit), circuit_unitary(decomposed), atol=1e-7
+    )
+
+
+@given(circuit=random_circuits())
+def test_optimisation_preserves_unitary_and_never_grows(circuit):
+    optimized = optimize_circuit(circuit)
+    assert len(optimized.instructions) <= len(circuit.instructions)
+    assert equal_up_to_global_phase(
+        circuit_unitary(circuit), circuit_unitary(optimized), atol=1e-7
+    )
+
+
+@given(circuit=random_circuits())
+def test_inverse_circuit_composes_to_identity(circuit):
+    n = circuit.num_qubits
+    state = Statevector(n)
+    state.evolve(circuit)
+    state.evolve(circuit.inverse())
+    assert state.fidelity(Statevector(n)) > 1 - 1e-9
+
+
+@given(circuit=random_circuits())
+def test_depth_is_bounded_by_gate_count(circuit):
+    assert 1 <= circuit.depth() <= len(circuit.instructions)

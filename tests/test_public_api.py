@@ -1,0 +1,49 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+def test_version_and_exports_exist():
+    assert repro.__version__ == "1.0.0"
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export {name}"
+
+
+def test_register_constructors_via_top_level():
+    reg = repro.phase_register("p", 4)
+    assert isinstance(reg, repro.QuantumDataType)
+    assert repro.ising_register("s", 3).width == 3
+    assert repro.integer_register("n", 2).encoding_kind == repro.EncodingKind.INT_REGISTER
+    assert repro.boolean_register("b", 2).measurement_semantics == repro.MeasurementSemantics.AS_BOOL
+
+
+def test_engines_listed_via_top_level():
+    engines = repro.list_engines()
+    assert any(e.startswith("gate.") for e in engines)
+    assert any(e.startswith("anneal.") for e in engines)
+    assert any(e.startswith("exact.") for e in engines)
+
+
+def test_custom_backend_registration_round_trip():
+    from repro.backends import Backend, ExecutionResult
+
+    class EchoBackend(Backend):
+        name = "echo"
+        engines = ("echo.test_backend",)
+        supported_rep_kinds = ("ISING_PROBLEM", "MEASUREMENT")
+
+        def run(self, bundle):
+            return ExecutionResult(backend_name=self.name, engine="echo.test_backend",
+                                   bundle_digest=bundle.digest(), _bundle=bundle)
+
+    repro.register_backend(EchoBackend, replace=True)
+    assert "echo.test_backend" in repro.list_engines()
+    backend = repro.get_backend("echo.test_backend")
+    assert backend.supports("ISING_PROBLEM")
+    assert not backend.supports("QFT_TEMPLATE")
+
+
+def test_quickstart_snippet_from_readme():
+    problem = repro.MaxCutProblem.cycle(4)
+    gate = repro.solve_maxcut(problem, formulation="qaoa")
+    assert gate.best_cut == 4.0

@@ -1,0 +1,138 @@
+"""Tests for quantum data type descriptors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    BitOrder,
+    DescriptorError,
+    EncodingKind,
+    MeasurementSemantics,
+    QuantumDataType,
+    boolean_register,
+    fixed_point_register,
+    integer_register,
+    ising_register,
+    phase_register,
+)
+
+
+def test_listing2_round_trip(reg_phase10):
+    doc = reg_phase10.to_dict()
+    assert doc["$schema"] == "qdt-core.schema.json"
+    assert doc["width"] == 10
+    assert doc["encoding_kind"] == "PHASE_REGISTER"
+    assert doc["bit_order"] == "LSB_0"
+    assert doc["measurement_semantics"] == "AS_PHASE"
+    assert doc["phase_scale"] == "1/1024"
+    rebuilt = QuantumDataType.from_dict(doc)
+    assert rebuilt.compatible_with(reg_phase10)
+    assert rebuilt.phase_scale == Fraction(1, 1024)
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(DescriptorError):
+        QuantumDataType(id="r", width=0, encoding_kind="BOOL_REGISTER",
+                        measurement_semantics="AS_BOOL")
+
+
+def test_lsb0_int_decoding():
+    reg = integer_register("r", 4)
+    assert reg.decode_bits("1000") == 1
+    assert reg.decode_bits("0001") == 8
+    assert reg.decode_bits("1010") == 5
+    assert reg.encode_value(5) == "1010"
+
+
+def test_msb0_int_decoding():
+    reg = integer_register("r", 4, bit_order="MSB_0")
+    assert reg.decode_bits("1000") == 8
+    assert reg.decode_bits("0001") == 1
+    assert reg.encode_value(8) == "1000"
+
+
+def test_signed_integer_two_complement():
+    reg = integer_register("r", 4, signed=True)
+    assert reg.decode_bits("1111") == -1
+    assert reg.decode_bits("0111") == -2  # LSB_0: index 14 -> -2
+    assert reg.encode_value(-1) == "1111"
+    with pytest.raises(DescriptorError):
+        integer_register("r", 4, signed=False).encode_value(-1)
+
+
+def test_boolean_and_spin_decoding():
+    boolreg = boolean_register("b", 3)
+    assert boolreg.decode_bits("101") == (1, 0, 1)
+    assert boolreg.encode_value((1, 0, 1)) == "101"
+    spinreg = ising_register("s", 3, measurement_semantics="AS_SPIN")
+    assert spinreg.decode_bits("101") == (-1, 1, -1)
+    assert spinreg.encode_value((-1, 1, -1)) == "101"
+
+
+def test_phase_decoding_and_encoding(reg_phase10):
+    assert reg_phase10.decode_bits("0000000000") == Fraction(0)
+    # carrier 0 has weight 1 -> 1/1024 of a turn
+    assert reg_phase10.decode_bits("1000000000") == Fraction(1, 1024)
+    assert reg_phase10.encode_value(Fraction(3, 8)) == "0000000110"
+    with pytest.raises(DescriptorError):
+        reg_phase10.encode_value(Fraction(1, 3))  # not a multiple of 1/1024
+
+
+def test_fixed_point_register():
+    reg = fixed_point_register("f", 4, fraction_bits=2)
+    assert reg.decode_bits("0100") == 0.5  # index 2 / 4
+    assert reg.encode_value(0.75) == "1100"
+
+
+def test_bits_index_round_trip():
+    reg = integer_register("r", 5)
+    for index in range(reg.num_states):
+        assert reg.bits_to_index(reg.index_to_bits(index)) == index
+
+
+def test_all_values_enumeration():
+    reg = integer_register("r", 3)
+    assert reg.all_values() == (0, 1, 2, 3, 4, 5, 6, 7)
+
+
+def test_bad_bitstring_rejected():
+    reg = integer_register("r", 3)
+    with pytest.raises(DescriptorError):
+        reg.decode_bits("01")
+    with pytest.raises(DescriptorError):
+        reg.decode_bits("01x")
+
+
+def test_compatibility():
+    a = ising_register("a", 4)
+    b = ising_register("b", 4)
+    c = ising_register("c", 5)
+    assert a.compatible_with(b)
+    assert not a.compatible_with(c)
+    assert not a.compatible_with(boolean_register("d", 4))
+
+
+def test_default_phase_scale():
+    reg = phase_register("p", 3)
+    assert reg.phase_scale == Fraction(1, 8)
+
+
+def test_save_and_load(tmp_path, reg_phase10):
+    path = tmp_path / "QDT.json"
+    reg_phase10.save(path)
+    loaded = QuantumDataType.load(path)
+    assert loaded.to_dict() == reg_phase10.to_dict()
+
+
+def test_schema_validation_rejects_unknown_encoding():
+    doc = {
+        "$schema": "qdt-core.schema.json",
+        "id": "r",
+        "width": 2,
+        "encoding_kind": "MYSTERY",
+        "bit_order": "LSB_0",
+        "measurement_semantics": "AS_BOOL",
+    }
+    with pytest.raises(Exception):
+        QuantumDataType.from_dict(doc)

