@@ -1,0 +1,104 @@
+"""Trajectory engine benchmark: per-shot reference vs batched, with JSON record.
+
+Times the same noisy workload through both trajectory engines at 8–12 qubits
+x 1024 shots and writes the wall-clock numbers to ``BENCH_trajectory.json``
+at the repository root, so the perf trajectory of the batched engine is
+tracked from the PR that introduced it.
+
+The workload is an H/RZ + CX-brickwork circuit **transpiled to the rz/sx/cx
+basis** — the circuit shape the gate backend actually hands the simulator
+(``GateBackend.run`` always transpiles first), with depolarizing + readout
+noise at NISQ-like rates.  Transpilation expands every logical 1q gate into
+an rz–sx–rz chain, which the per-shot reference pays for instruction by
+instruction and the batched engine's run fusion collapses back into single
+fused applications.
+
+Run standalone (``python benchmarks/bench_trajectory_batching.py``) or via
+pytest (``pytest benchmarks/bench_trajectory_batching.py``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.simulators.gate import Circuit, NoiseModel, StatevectorSimulator, transpile
+
+SHOTS = 1024
+QUBIT_SIZES = (8, 10, 12)
+BASIS = ("rz", "sx", "cx")
+NOISE = dict(oneq_error=1e-3, twoq_error=1e-2, readout_error=2e-2)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_trajectory.json"
+
+
+def layered_workload(num_qubits: int, layers: int = 3) -> Circuit:
+    """H/RZ layers with CX brickwork, lowered to the backend's basis gates."""
+    circuit = Circuit(num_qubits, num_qubits)
+    for layer in range(layers):
+        for q in range(num_qubits):
+            circuit.h(q)
+            circuit.rz(0.1 * q + 0.2 * layer, q)
+        for q in range(0, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+        for q in range(1, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+    circuit.measure_all()
+    return transpile(circuit, basis_gates=list(BASIS), optimization_level=1).circuit
+
+
+def time_engine(engine: str, circuit: Circuit, shots: int, seed: int, repeats: int):
+    simulator = StatevectorSimulator(
+        noise_model=NoiseModel(**NOISE), trajectory_engine=engine
+    )
+    best, counts = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = simulator.run(circuit, shots=shots, seed=seed)
+        best = min(best, time.perf_counter() - start)
+        counts = result.counts
+    return best, counts
+
+
+def run_suite(qubit_sizes=QUBIT_SIZES, shots=SHOTS, seed=1):
+    rows = []
+    for num_qubits in qubit_sizes:
+        circuit = layered_workload(num_qubits)
+        repeats = 3 if num_qubits <= 10 else 2
+        batched_s, batched_counts = time_engine("batched", circuit, shots, seed, repeats)
+        reference_s, reference_counts = time_engine("reference", circuit, shots, seed, repeats)
+        assert batched_counts.shots == reference_counts.shots == shots
+        rows.append(
+            {
+                "num_qubits": num_qubits,
+                "shots": shots,
+                "gates": circuit.num_gates(),
+                "batched_s": round(batched_s, 4),
+                "per_shot_reference_s": round(reference_s, 4),
+                "speedup": round(reference_s / batched_s, 2),
+            }
+        )
+    record = {
+        "benchmark": "trajectory_batching",
+        "noise": NOISE,
+        "rows": rows,
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def test_trajectory_batching_speedup(benchmark=None):
+    """Batched engine beats the per-shot reference on the 12-qubit noisy workload."""
+    record = run_suite()
+    by_qubits = {row["num_qubits"]: row for row in record["rows"]}
+    headline = by_qubits[max(by_qubits)]
+    assert headline["speedup"] >= 5.0, record
+    if benchmark is not None and hasattr(benchmark, "extra_info"):
+        benchmark.extra_info.update(headline)
+        circuit = layered_workload(headline["num_qubits"])
+        simulator = StatevectorSimulator(noise_model=NoiseModel(**NOISE))
+        benchmark(lambda: simulator.run(circuit, shots=SHOTS, seed=1))
+
+
+if __name__ == "__main__":
+    report = run_suite()
+    print(json.dumps(report, indent=2))
+    print(f"wrote {OUTPUT}")

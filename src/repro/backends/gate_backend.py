@@ -22,7 +22,7 @@ from ..core.errors import BackendError
 from ..results.counts import Counts
 from ..simulators.gate.circuit import Circuit
 from ..simulators.gate.noise import NoiseModel
-from ..simulators.gate.statevector import StatevectorSimulator
+from ..simulators.gate.statevector import DEFAULT_MAX_BATCH_MEMORY, StatevectorSimulator
 from ..simulators.gate.transpiler import transpile
 from .base import Backend, ExecutionResult
 from .lowering import GATE_LOWERING_RULES, QubitAllocation, lower_operator
@@ -90,8 +90,14 @@ class GateBackend(Backend):
         )
 
         noise_model = NoiseModel.from_dict(exec_policy.options.get("noise"))
-        simulator = StatevectorSimulator(noise_model=noise_model)
+        max_batch_memory = exec_policy.options.get("max_batch_memory", DEFAULT_MAX_BATCH_MEMORY)
         try:
+            simulator = StatevectorSimulator(
+                noise_model=noise_model,
+                max_batch_memory=None if max_batch_memory is None else int(max_batch_memory),
+                trajectory_engine=str(exec_policy.options.get("trajectory_engine", "batched")),
+                trajectory_dtype=str(exec_policy.options.get("trajectory_dtype", "complex64")),
+            )
             simulation = simulator.run(
                 transpiled.circuit,
                 shots=exec_policy.samples,
@@ -122,6 +128,8 @@ class GateBackend(Backend):
                 "transpiled_twoq": transpiled.circuit.num_twoq_gates(),
                 "transpile_metrics": dict(transpiled.metrics),
                 "simulation_method": simulation.metadata.get("method"),
+                "trajectory_engine": simulation.metadata.get("trajectory_engine"),
+                "num_batches": simulation.metadata.get("num_batches"),
                 "uses_qec": context.uses_qec,
             },
             _bundle=bundle,

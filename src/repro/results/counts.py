@@ -9,6 +9,7 @@ always driven by the explicit result schema (that is the point of the paper).
 
 from __future__ import annotations
 
+import numbers
 from collections import Counter
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -17,6 +18,29 @@ import numpy as np
 from ..core.errors import DecodingError
 
 __all__ = ["Counts"]
+
+
+def _as_count(key: str, value: object) -> int:
+    """Validate one histogram value: an integral, non-negative count.
+
+    Integer-valued floats (e.g. ``600.0`` out of a JSON decoder) are
+    accepted; fractional or non-numeric values raise :class:`DecodingError`
+    instead of being silently truncated.
+    """
+    if isinstance(value, numbers.Integral):
+        count = int(value)
+    elif isinstance(value, numbers.Real):
+        real = float(value)
+        if not real.is_integer():
+            raise DecodingError(f"count for {key!r} must be an integer, got {value!r}")
+        count = int(real)
+    else:
+        raise DecodingError(
+            f"count for {key!r} must be an integer, got {type(value).__name__}"
+        )
+    if count < 0:
+        raise DecodingError(f"negative count for {key!r}")
+    return count
 
 
 class Counts(Mapping[str, int]):
@@ -36,10 +60,9 @@ class Counts(Mapping[str, int]):
                     )
                 if any(c not in "01" for c in key):
                     raise DecodingError(f"counts key {key!r} is not a bitstring")
-                if int(value) < 0:
-                    raise DecodingError(f"negative count for {key!r}")
-                if value:
-                    self._data[key] = self._data.get(key, 0) + int(value)
+                count = _as_count(key, value)
+                if count:
+                    self._data[key] = self._data.get(key, 0) + count
 
     # -- Mapping protocol -----------------------------------------------------
     def __getitem__(self, key: str) -> int:
@@ -67,8 +90,23 @@ class Counts(Mapping[str, int]):
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.ndim != 2:
             raise DecodingError("expected a 2-D array of bits")
-        strings = ["".join("1" if b else "0" for b in row) for row in bits]
-        return cls.from_samples(strings)
+        bits = (bits != 0).astype(np.uint8)  # coerce truthy values to 1, like the row-join path
+        shots, width = bits.shape
+        if width == 0 or width > 62:
+            # Degenerate or wider-than-int64 rows: fall back to string rows.
+            strings = ["".join("1" if b else "0" for b in row) for row in bits]
+            return cls.from_samples(strings)
+        # Pack each row into an integer so the histogram is one np.unique call
+        # instead of a python loop over shots.
+        weights = (1 << np.arange(width - 1, -1, -1)).astype(np.int64)
+        codes = bits.astype(np.int64) @ weights
+        values, multiplicities = np.unique(codes, return_counts=True)
+        return cls(
+            {
+                format(int(v), f"0{width}b"): int(m)
+                for v, m in zip(values, multiplicities)
+            }
+        )
 
     # -- basic statistics ----------------------------------------------------------
     @property
@@ -116,7 +154,11 @@ class Counts(Mapping[str, int]):
         return Counts(out)
 
     def merge(self, other: "Counts") -> "Counts":
-        """Combine two histograms shot-by-shot (same width required)."""
+        """Sum two histograms key-by-key (same bitstring width required).
+
+        This adds the per-key totals of two already-aggregated histograms —
+        there is no shot-level pairing involved.
+        """
         if self._data and other._data and self.num_clbits != other.num_clbits:
             raise DecodingError("cannot merge counts of different widths")
         merged = dict(self._data)

@@ -1,9 +1,11 @@
 """Gate-model substrate: gates, circuits, state-vector simulation, transpiler."""
 
+from .batched import BatchedStatevector
 from .circuit import Circuit, Instruction
-from .gates import GateDef, gate_matrix, get_gate, has_gate, list_gates
+from .gates import GateDef, cached_gate_matrix, gate_matrix, get_gate, has_gate, list_gates
 from .noise import NoiseModel
 from .statevector import (
+    DEFAULT_MAX_BATCH_MEMORY,
     SimulationResult,
     Statevector,
     StatevectorSimulator,
@@ -14,10 +16,12 @@ from .transpiler import Layout, TranspileResult, transpile
 from .unitary import circuit_unitary, equal_up_to_global_phase
 
 __all__ = [
+    "BatchedStatevector",
     "Circuit",
     "Instruction",
     "GateDef",
     "gate_matrix",
+    "cached_gate_matrix",
     "get_gate",
     "has_gate",
     "list_gates",
@@ -25,6 +29,7 @@ __all__ = [
     "Statevector",
     "StatevectorSimulator",
     "SimulationResult",
+    "DEFAULT_MAX_BATCH_MEMORY",
     "index_to_bits",
     "bits_to_index",
     "transpile",

@@ -15,11 +15,13 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np
 
 from ...core.errors import SimulationError
+from .kernels import MatrixPlan, build_plan
 
 __all__ = [
     "GateDef",
@@ -27,6 +29,8 @@ __all__ = [
     "get_gate",
     "has_gate",
     "gate_matrix",
+    "cached_gate_matrix",
+    "cached_gate_plan",
     "list_gates",
     "ALL_GATE_NAMES",
 ]
@@ -72,6 +76,9 @@ def register_gate(
         raise SimulationError(f"gate {name!r} already registered")
     definition = GateDef(name, num_qubits, num_params, matrix_fn, self_inverse, description)
     _GATES[name] = definition
+    # A replaced definition must not serve stale matrices or plans.
+    _cached_matrix.cache_clear()
+    _cached_plan.cache_clear()
     return definition
 
 
@@ -89,8 +96,39 @@ def has_gate(name: str) -> bool:
 
 
 def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
-    """Convenience wrapper returning the matrix of gate *name*."""
+    """Convenience wrapper returning a fresh (writable) matrix of gate *name*."""
     return get_gate(name).matrix(*params)
+
+
+@lru_cache(maxsize=1024)
+def _cached_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
+    matrix = get_gate(name).matrix(*params)
+    matrix.setflags(write=False)  # cached arrays are shared; freeze them
+    return matrix
+
+
+def cached_gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """The matrix of gate *name*, memoised per ``(name, params)``.
+
+    Hot loops (the simulators apply the same few gates thousands of times per
+    circuit) hit an LRU cache instead of rebuilding the matrix.  The returned
+    array is **read-only**; call :func:`gate_matrix` for a private copy.
+    """
+    return _cached_matrix(name, tuple(float(p) for p in params))
+
+
+@lru_cache(maxsize=1024)
+def _cached_plan(name: str, params: Tuple[float, ...]) -> MatrixPlan:
+    return build_plan(_cached_matrix(name, params))
+
+
+def cached_gate_plan(name: str, params: Sequence[float] = ()) -> MatrixPlan:
+    """The :class:`~repro.simulators.gate.kernels.MatrixPlan` of gate *name*.
+
+    Memoised alongside :func:`cached_gate_matrix` so the simulators analyse
+    each distinct gate's sparsity structure exactly once.
+    """
+    return _cached_plan(name, tuple(float(p) for p in params))
 
 
 def list_gates() -> Tuple[str, ...]:

@@ -67,6 +67,20 @@ class NoiseModel:
             return 1 - outcome
         return outcome
 
+    # -- batched channels (one vector draw for a whole trajectory batch) --------
+    # Gate noise for the batched engine lives in the compiled program: the
+    # fusion compiler turns each gate's depolarizing channel into
+    # NoiseEvents that BatchedStatevector.apply_noise_events samples, so
+    # pushed-through (conjugated) errors and raw Paulis share one code path.
+    def apply_readout_error_batched(
+        self, outcomes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Flip each entry of a ``(batch,)`` outcome vector independently."""
+        if self.readout_error <= 0.0:
+            return outcomes
+        flips = rng.random(outcomes.shape[0]) < self.readout_error
+        return (outcomes ^ flips).astype(outcomes.dtype)
+
     def to_dict(self) -> dict:
         return {
             "oneq_error": self.oneq_error,

@@ -33,11 +33,32 @@ def test_zero_counts_dropped():
     assert "00" not in counts and counts.shots == 5
 
 
+def test_non_integral_counts_rejected():
+    with pytest.raises(DecodingError):
+        Counts({"0": 2.7})  # must not silently truncate to 2
+    with pytest.raises(DecodingError):
+        Counts({"0": "3"})
+    with pytest.raises(DecodingError):
+        Counts({"0": float("nan")})
+
+
+def test_integer_valued_counts_accepted():
+    counts = Counts({"0": 600.0, "1": np.int64(400)})
+    assert counts["0"] == 600 and counts["1"] == 400
+    assert all(isinstance(v, int) for v in counts.values())
+
+
 def test_from_samples_and_array():
     counts = Counts.from_samples(["01", "01", "10"])
     assert counts["01"] == 2 and counts["10"] == 1
     array_counts = Counts.from_array(np.array([[0, 1], [0, 1], [1, 0]]))
     assert dict(array_counts) == dict(counts)
+
+
+def test_from_array_coerces_truthy_values():
+    # Non-binary truthy entries count as 1, matching the row-join semantics.
+    assert dict(Counts.from_array(np.array([[0, 2]], dtype=np.uint8))) == {"01": 1}
+    assert dict(Counts.from_array(np.array([[7, 0]], dtype=np.uint8))) == {"10": 1}
 
 
 def test_marginal():

@@ -131,6 +131,62 @@ def test_sample_counts_and_statevector_return():
     assert result.get_counts().shots == 100
 
 
+def test_measurement_free_circuit_measured_implicitly():
+    # Documented contract: no measure instructions + shots > 0 => implicit
+    # terminal measurement over all qubits, keyed in qubit order.
+    circuit = Circuit(2)
+    circuit.h(0)
+    result = StatevectorSimulator().run(circuit, shots=1000, seed=4)
+    assert result.metadata["implicit_measurement"] is True
+    assert set(result.counts) <= {"00", "10"}
+    assert result.counts.shots == 1000
+    assert abs(result.counts.probability("00") - 0.5) < 0.06
+
+
+def test_measurement_free_trajectory_circuit_measured_implicitly():
+    # Noise forces the trajectory path; the implicit contract must hold there too.
+    circuit = Circuit(2)
+    circuit.h(0)
+    noisy = StatevectorSimulator(noise_model=NoiseModel(oneq_error=0.01))
+    result = noisy.run(circuit, shots=500, seed=6)
+    assert result.metadata["method"] == "trajectories"
+    assert result.metadata["implicit_measurement"] is True
+    assert result.counts.shots == 500
+    assert result.counts.num_clbits == 2
+
+
+def test_zero_shots_returns_empty_counts():
+    circuit = Circuit(2)
+    circuit.h(0)
+    result = StatevectorSimulator().run(circuit, shots=0)
+    assert dict(result.counts) == {}
+    assert result.metadata["implicit_measurement"] is False
+
+
+def test_return_statevector_exact_path_is_pre_measurement():
+    circuit = Circuit(2, 2)
+    circuit.h(0).measure_all()
+    result = StatevectorSimulator().run(circuit, shots=50, seed=1, return_statevector=True)
+    assert result.metadata["statevector_kind"] == "pre_measurement"
+    # Sampling must not collapse: both outcomes keep amplitude 1/sqrt(2).
+    probs = result.statevector.probability_dict()
+    assert set(probs) == {"00", "10"}
+    assert abs(probs["00"] - 0.5) < 1e-9
+
+
+def test_return_statevector_trajectory_path_is_collapsed_final_shot():
+    circuit = Circuit(1, 1)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.h(0)
+    circuit.measure(0, 0)  # mid-circuit + terminal: trajectory path
+    result = StatevectorSimulator().run(circuit, shots=30, seed=8, return_statevector=True)
+    assert result.metadata["statevector_kind"] == "final_trajectory"
+    probs = result.statevector.probability_dict()
+    assert len(probs) == 1  # collapsed to the last shot's outcome
+    assert abs(sum(probs.values()) - 1.0) < 1e-6
+
+
 def test_qubit_limit_enforced():
     with pytest.raises(SimulationError):
         Statevector(40)
