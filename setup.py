@@ -1,11 +1,28 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
-The project is fully described by ``pyproject.toml``; this file exists so the
-package can be installed in environments whose setuptools/wheel combination
-predates PEP 660 editable installs (``pip install -e . --no-use-pep517`` or
-``python setup.py develop``).
+Package metadata lives here (the project ships no ``pyproject.toml``); the
+long description is the root ``README.md``, so PyPI-style renderers and
+``pip show`` surface the same quickstart and exec-policy knob table the
+repository documents.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).resolve().parent / "README.md"
+
+setup(
+    name="repro-markidis-npp25",
+    version="0.2.0",
+    description=(
+        "Reproduction of conf_sc_MarkidisNPP25: typed quantum data and "
+        "operator descriptors over gate-model and annealing simulators"
+    ),
+    long_description=README.read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+)

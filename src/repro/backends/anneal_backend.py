@@ -71,6 +71,7 @@ class AnnealBackend(Backend):
         return problems[0]
 
     def run(self, bundle: JobBundle) -> ExecutionResult:
+        """Anneal the bundle's single Ising/QUBO problem and return samples."""
         self.check_capabilities(bundle)
         context = bundle.context or ContextDescriptor(exec=ExecPolicy(engine=self.engines[0]))
         policy = context.anneal or AnnealPolicy(num_reads=context.exec.samples)

@@ -30,6 +30,7 @@ class ExactBackend(Backend):
         self.solver = ExactSolver()
 
     def run(self, bundle: JobBundle) -> ExecutionResult:
+        """Solve the bundle's single problem by exhaustive enumeration."""
         self.check_capabilities(bundle)
         context = bundle.context or ContextDescriptor(exec=ExecPolicy(engine=self.engines[0]))
         problems = [op for op in bundle.operators if op.rep_kind in ("ISING_PROBLEM", "QUBO_PROBLEM")]

@@ -75,6 +75,34 @@ class GateBackend(Backend):
 
     # -- execution ----------------------------------------------------------------------
     def run(self, bundle: JobBundle) -> ExecutionResult:
+        """Execute *bundle* end to end and return decoded-ready counts.
+
+        Simulator knobs are read from ``context.exec.options`` (all
+        optional; unknown keys are ignored):
+
+        ``optimization_level`` (int, default ``1``)
+            Transpiler effort passed to
+            :func:`~repro.simulators.gate.transpiler.transpile`.
+        ``noise`` (mapping, default ``None``)
+            :class:`~repro.simulators.gate.noise.NoiseModel` rates
+            (``oneq_error`` / ``twoq_error`` / ``readout_error``); any
+            nonzero rate forces the trajectory path.
+        ``max_batch_memory`` (int bytes or ``None``, default 16 MiB)
+            Byte budget for the batched engine's per-chunk working set;
+            ``None`` disables chunking.
+        ``trajectory_engine`` (``"batched"`` | ``"reference"``, default
+            ``"batched"``)
+            Which trajectory engine executes noisy / mid-circuit-measuring
+            circuits.
+        ``trajectory_dtype`` (``"complex64"`` | ``"complex128"``, default
+            ``"complex64"``)
+            State dtype of the batched engine.
+        ``trajectory_workers`` (int >= 1 or ``"auto"``, default ``1``)
+            Thread count for parallel chunk execution in the batched
+            engine.  Seeded results are bit-identical for every value; the
+            effective parallelism is capped by the number of chunks
+            ``max_batch_memory`` produces.
+        """
         self.check_capabilities(bundle)
         context = bundle.context or ContextDescriptor(exec=ExecPolicy(engine=self.engines[0]))
         exec_policy = context.exec
@@ -97,6 +125,9 @@ class GateBackend(Backend):
                 max_batch_memory=None if max_batch_memory is None else int(max_batch_memory),
                 trajectory_engine=str(exec_policy.options.get("trajectory_engine", "batched")),
                 trajectory_dtype=str(exec_policy.options.get("trajectory_dtype", "complex64")),
+                # Passed through unconverted: the simulator enforces the
+                # int-or-"auto" contract and coercing here would mask it.
+                trajectory_workers=exec_policy.options.get("trajectory_workers", 1),
             )
             simulation = simulator.run(
                 transpiled.circuit,
@@ -129,6 +160,7 @@ class GateBackend(Backend):
                 "transpile_metrics": dict(transpiled.metrics),
                 "simulation_method": simulation.metadata.get("method"),
                 "trajectory_engine": simulation.metadata.get("trajectory_engine"),
+                "trajectory_workers": simulation.metadata.get("trajectory_workers"),
                 "num_batches": simulation.metadata.get("num_batches"),
                 "uses_qec": context.uses_qec,
             },

@@ -43,6 +43,7 @@ class QubitAllocation:
     num_clbits: int
 
     def qubit_of(self, register_id: str, carrier: int) -> int:
+        """Physical qubit index of one carrier of a register."""
         try:
             carriers = self.qubit_map[register_id]
         except KeyError:
@@ -54,6 +55,7 @@ class QubitAllocation:
         return carriers[carrier]
 
     def qubits_of(self, register_id: str) -> List[int]:
+        """All physical qubit indices of a register, in carrier order."""
         return list(self.qubit_map[register_id])
 
 

@@ -26,6 +26,11 @@ default) matches the single-shot reference exactly.
 The RNG consumption pattern differs from the per-shot reference engine
 (vector draws instead of scalar draws), so for a given seed the two engines
 produce *distribution-equivalent*, not bit-identical, samples.
+
+Threading: an instance owns its tensor and scratch buffer and is **confined
+to one thread at a time** — the simulator's ``trajectory_workers`` pool
+parallelises across *instances* (one per shot chunk, each with its own
+spawned RNG stream), never within one.
 """
 
 from __future__ import annotations

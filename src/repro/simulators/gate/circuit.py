@@ -41,9 +41,11 @@ class Instruction:
 
     @property
     def num_qubits(self) -> int:
+        """Number of qubits the instruction acts on."""
         return len(self.qubits)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable dict form (empty fields omitted)."""
         doc: Dict[str, Any] = {"name": self.name, "qubits": list(self.qubits)}
         if self.params:
             doc["params"] = [float(p) for p in self.params]
@@ -55,6 +57,7 @@ class Instruction:
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "Instruction":
+        """Rebuild an :class:`Instruction` from its :meth:`to_dict` form."""
         return cls(
             name=doc["name"],
             qubits=tuple(doc["qubits"]),
@@ -140,96 +143,127 @@ class Circuit:
 
     # -- named gate helpers ---------------------------------------------------------
     def id(self, q: int) -> "Circuit":
+        """Append a ``id`` (identity) gate; returns ``self`` for chaining."""
         return self.append("id", [q])
 
     def x(self, q: int) -> "Circuit":
+        """Append a ``x`` (Pauli-X) gate; returns ``self`` for chaining."""
         return self.append("x", [q])
 
     def y(self, q: int) -> "Circuit":
+        """Append a ``y`` (Pauli-Y) gate; returns ``self`` for chaining."""
         return self.append("y", [q])
 
     def z(self, q: int) -> "Circuit":
+        """Append a ``z`` (Pauli-Z) gate; returns ``self`` for chaining."""
         return self.append("z", [q])
 
     def h(self, q: int) -> "Circuit":
+        """Append a ``h`` (Hadamard) gate; returns ``self`` for chaining."""
         return self.append("h", [q])
 
     def s(self, q: int) -> "Circuit":
+        """Append a ``s`` (S (sqrt-Z)) gate; returns ``self`` for chaining."""
         return self.append("s", [q])
 
     def sdg(self, q: int) -> "Circuit":
+        """Append a ``sdg`` (S-dagger) gate; returns ``self`` for chaining."""
         return self.append("sdg", [q])
 
     def t(self, q: int) -> "Circuit":
+        """Append a ``t`` (T) gate; returns ``self`` for chaining."""
         return self.append("t", [q])
 
     def tdg(self, q: int) -> "Circuit":
+        """Append a ``tdg`` (T-dagger) gate; returns ``self`` for chaining."""
         return self.append("tdg", [q])
 
     def sx(self, q: int) -> "Circuit":
+        """Append a ``sx`` (sqrt-X) gate; returns ``self`` for chaining."""
         return self.append("sx", [q])
 
     def sxdg(self, q: int) -> "Circuit":
+        """Append a ``sxdg`` (sqrt-X-dagger) gate; returns ``self`` for chaining."""
         return self.append("sxdg", [q])
 
     def rx(self, theta: float, q: int) -> "Circuit":
+        """Append a ``rx`` (X-rotation) gate; returns ``self`` for chaining."""
         return self.append("rx", [q], [theta])
 
     def ry(self, theta: float, q: int) -> "Circuit":
+        """Append a ``ry`` (Y-rotation) gate; returns ``self`` for chaining."""
         return self.append("ry", [q], [theta])
 
     def rz(self, theta: float, q: int) -> "Circuit":
+        """Append a ``rz`` (Z-rotation) gate; returns ``self`` for chaining."""
         return self.append("rz", [q], [theta])
 
     def p(self, theta: float, q: int) -> "Circuit":
+        """Append a ``p`` (phase) gate; returns ``self`` for chaining."""
         return self.append("p", [q], [theta])
 
     def u(self, theta: float, phi: float, lam: float, q: int) -> "Circuit":
+        """Append a ``u`` (generic single-qubit U(theta, phi, lam)) gate; returns ``self`` for chaining."""
         return self.append("u", [q], [theta, phi, lam])
 
     def cx(self, control: int, target: int) -> "Circuit":
+        """Append a ``cx`` (CNOT) gate; returns ``self`` for chaining."""
         return self.append("cx", [control, target])
 
     def cy(self, control: int, target: int) -> "Circuit":
+        """Append a ``cy`` (controlled-Y) gate; returns ``self`` for chaining."""
         return self.append("cy", [control, target])
 
     def cz(self, control: int, target: int) -> "Circuit":
+        """Append a ``cz`` (controlled-Z) gate; returns ``self`` for chaining."""
         return self.append("cz", [control, target])
 
     def ch(self, control: int, target: int) -> "Circuit":
+        """Append a ``ch`` (controlled-Hadamard) gate; returns ``self`` for chaining."""
         return self.append("ch", [control, target])
 
     def cp(self, theta: float, control: int, target: int) -> "Circuit":
+        """Append a ``cp`` (controlled-phase) gate; returns ``self`` for chaining."""
         return self.append("cp", [control, target], [theta])
 
     def crx(self, theta: float, control: int, target: int) -> "Circuit":
+        """Append a ``crx`` (controlled X-rotation) gate; returns ``self`` for chaining."""
         return self.append("crx", [control, target], [theta])
 
     def cry(self, theta: float, control: int, target: int) -> "Circuit":
+        """Append a ``cry`` (controlled Y-rotation) gate; returns ``self`` for chaining."""
         return self.append("cry", [control, target], [theta])
 
     def crz(self, theta: float, control: int, target: int) -> "Circuit":
+        """Append a ``crz`` (controlled Z-rotation) gate; returns ``self`` for chaining."""
         return self.append("crz", [control, target], [theta])
 
     def swap(self, a: int, b: int) -> "Circuit":
+        """Append a ``swap`` (SWAP) gate; returns ``self`` for chaining."""
         return self.append("swap", [a, b])
 
     def rzz(self, theta: float, a: int, b: int) -> "Circuit":
+        """Append a ``rzz`` (ZZ-interaction) gate; returns ``self`` for chaining."""
         return self.append("rzz", [a, b], [theta])
 
     def rxx(self, theta: float, a: int, b: int) -> "Circuit":
+        """Append a ``rxx`` (XX-interaction) gate; returns ``self`` for chaining."""
         return self.append("rxx", [a, b], [theta])
 
     def ryy(self, theta: float, a: int, b: int) -> "Circuit":
+        """Append a ``ryy`` (YY-interaction) gate; returns ``self`` for chaining."""
         return self.append("ryy", [a, b], [theta])
 
     def ccx(self, c1: int, c2: int, target: int) -> "Circuit":
+        """Append a ``ccx`` (Toffoli) gate; returns ``self`` for chaining."""
         return self.append("ccx", [c1, c2, target])
 
     def ccz(self, c1: int, c2: int, target: int) -> "Circuit":
+        """Append a ``ccz`` (doubly-controlled-Z) gate; returns ``self`` for chaining."""
         return self.append("ccz", [c1, c2, target])
 
     def cswap(self, control: int, a: int, b: int) -> "Circuit":
+        """Append a ``cswap`` (Fredkin (controlled-SWAP)) gate; returns ``self`` for chaining."""
         return self.append("cswap", [control, a, b])
 
     # -- non-unitary operations -------------------------------------------------------
@@ -379,6 +413,7 @@ class Circuit:
 
     # -- serialization ---------------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable dict form of the whole circuit."""
         return {
             "name": self.name,
             "num_qubits": self.num_qubits,
@@ -389,6 +424,7 @@ class Circuit:
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "Circuit":
+        """Rebuild a :class:`Circuit` from its :meth:`to_dict` form."""
         circuit = cls(doc["num_qubits"], doc.get("num_clbits", 0), name=doc.get("name", "circuit"))
         circuit.metadata = dict(doc.get("metadata", {}))
         for inst_doc in doc.get("instructions", []):

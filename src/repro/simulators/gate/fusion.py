@@ -29,7 +29,13 @@ sampled distribution:
   every qubit through the same mechanism.
 
 The compiled program is engine-agnostic data; execution lives in
-:class:`~repro.simulators.gate.statevector.StatevectorSimulator`.
+:class:`~repro.simulators.gate.statevector.StatevectorSimulator`.  The same
+compiler also serves noiseless unitary sweeps:
+:meth:`~repro.simulators.gate.statevector.Statevector.evolve` and
+:func:`~repro.simulators.gate.unitary.circuit_unitary` compile first (their
+programs contain only :class:`GateStep`) and apply the fused steps directly.
+A compiled program is immutable after compilation, so one program may be
+executed by many shot chunks concurrently (``trajectory_workers``).
 """
 
 from __future__ import annotations
@@ -194,7 +200,30 @@ def _absorbed_events(
 def compile_trajectory_program(
     circuit: Circuit, noise_model: Optional[NoiseModel] = None
 ) -> TrajectoryProgram:
-    """Compile *circuit* (and optional noise) into a :class:`TrajectoryProgram`."""
+    """Compile *circuit* (and optional noise) into a :class:`TrajectoryProgram`.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to compile.  Barriers are dropped; measure and reset
+        instructions become :class:`MeasureStep` / :class:`ResetStep` (pure
+        unitary callers such as ``Statevector.evolve`` validate their input
+        first and get a program of :class:`GateStep` only).
+    noise_model:
+        Optional :class:`~repro.simulators.gate.noise.NoiseModel`.  With
+        nonzero rates, every gate step carries the per-shot error events of
+        the reference engine's channel, conjugated through fused blocks so
+        fusion never changes the sampled distribution.  Default ``None``
+        (also the effective value for a noiseless model).
+
+    Returns
+    -------
+    TrajectoryProgram
+        Immutable program data: the fused step list plus an optional
+        :class:`TerminalSample` describing the jointly-sampled trailing
+        measurements (implicit over all qubits for measurement-free
+        circuits).  Safe to execute from multiple threads.
+    """
     oneq_rate = noise_model.oneq_error if noise_model is not None else 0.0
     twoq_rate = noise_model.twoq_error if noise_model is not None else 0.0
 

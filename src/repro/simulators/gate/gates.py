@@ -8,6 +8,11 @@ bit** of the matrix index (so ``CX(control, target)`` is the familiar
 
 The library covers the gates the transpiler, the lowering rules and the noise
 model need; adding a gate is a single :func:`register_gate` call.
+
+The matrix/plan LRU caches (:func:`cached_gate_matrix`,
+:func:`cached_gate_plan`) serve read-only objects and are safe to hit from
+the batched engine's chunk worker threads; :func:`register_gate` (which
+clears them) must not race a running simulation.
 """
 
 from __future__ import annotations

@@ -52,6 +52,7 @@ class MatrixPlan:
 
     @property
     def is_diagonal(self) -> bool:
+        """Whether the matrix is fully diagonal (one broadcast multiply)."""
         return self.diagonal is not None
 
     @property

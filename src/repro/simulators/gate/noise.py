@@ -82,6 +82,7 @@ class NoiseModel:
         return (outcomes ^ flips).astype(outcomes.dtype)
 
     def to_dict(self) -> dict:
+        """The three channel rates as a plain dict (context-options form)."""
         return {
             "oneq_error": self.oneq_error,
             "twoq_error": self.twoq_error,
@@ -90,6 +91,7 @@ class NoiseModel:
 
     @classmethod
     def from_dict(cls, doc: dict | None) -> "NoiseModel | None":
+        """Build a model from a rates dict; ``None``/empty means no noise."""
         if not doc:
             return None
         return cls(

@@ -24,7 +24,9 @@ The simulator picks one of three paths per run:
   ``i`` on axis ``i`` — the same qubit-axis convention as the single-shot
   state).  The ``max_batch_memory`` knob bounds the ``shots x 2^n``
   footprint by chunking the shot dimension; each chunk is an independent
-  batch drawn from the same seeded RNG stream.
+  batch with its own ``SeedSequence``-spawned RNG stream, and the
+  ``trajectory_workers`` knob dispatches chunks across a thread pool
+  (seeded counts are bit-identical for every worker count).
 * **reference trajectories** — the per-shot Python loop, kept as the
   executable specification the batched engine is tested against
   (``trajectory_engine="reference"``).
@@ -46,8 +48,10 @@ three-qubit-and-wider unitaries take the generic
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -207,18 +211,51 @@ class Statevector:
             return self.apply_matrix(matrix, qubits, plan=cached_gate_plan(name, params))
         return self.apply_matrix(matrix, qubits)
 
-    def evolve(self, circuit: Circuit) -> "Statevector":
-        """Apply every unitary gate of *circuit* (measure/reset are rejected)."""
+    def evolve(self, circuit: Circuit, *, fuse: bool = True) -> "Statevector":
+        """Apply every unitary gate of *circuit* to this state, in place.
+
+        Parameters
+        ----------
+        circuit:
+            A purely unitary :class:`~repro.simulators.gate.circuit.Circuit`
+            of the same width as this state.  Measure and reset instructions
+            are rejected (use :meth:`StatevectorSimulator.run` for those);
+            barriers are ignored.
+        fuse:
+            When true (the default) the circuit is first compiled through the
+            :func:`~repro.simulators.gate.fusion.compile_trajectory_program`
+            fusion compiler, so consecutive single-qubit gates cost one fused
+            traversal and adjacent pending 1q runs are absorbed into
+            following two-qubit gates — typically 2-3x fewer state
+            traversals on transpiled circuits.  ``fuse=False`` applies the
+            instructions one by one and is kept as the executable
+            specification the fused path is tested against.
+
+        Returns
+        -------
+        Statevector
+            ``self``, for chaining.  Both paths produce the same state up to
+            float rounding (fused matrix products are accumulated in
+            ``complex128``).
+        """
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError("circuit width does not match the statevector")
         for inst in circuit.instructions:
-            if inst.name == "barrier":
-                continue
-            if not inst.is_gate:
+            if inst.name != "barrier" and not inst.is_gate:
                 raise SimulationError(
                     "Statevector.evolve only supports unitary circuits; "
                     "use StatevectorSimulator.run for measurements"
                 )
+        if fuse:
+            from .fusion import compile_trajectory_program  # local: import cycle
+
+            program = compile_trajectory_program(circuit)
+            for step in program.steps:
+                self.apply_matrix(step.matrix, step.qubits, plan=step.plan)
+            return self
+        for inst in circuit.instructions:
+            if inst.name == "barrier":
+                continue
             self.apply_gate(inst.name, inst.qubits, inst.params)
         return self
 
@@ -302,6 +339,21 @@ class StatevectorSimulator:
         single precision halves the traffic; ~1e-7 amplitude rounding is
         far below the sampling noise of any realistic shot count.  The
         reference engine and the exact path always use ``complex128``.
+    trajectory_workers:
+        Number of threads executing the batched engine's shot chunks
+        (``int >= 1``, or ``"auto"`` for the host CPU count; default ``1``).
+        The chunks produced by ``max_batch_memory`` are independent, NumPy's
+        GEMM kernels release the GIL, and every chunk draws from its own
+        :class:`numpy.random.SeedSequence`-spawned stream, so seeded counts
+        are **bit-identical for every worker count** and chunk decomposition
+        never depends on this knob.  Only the batched engine parallelises;
+        the reference engine and the exact path ignore this option.
+        Interacts with ``max_batch_memory``: there must be at least as many
+        chunks as workers for full utilisation (shrink the byte budget or
+        raise the shot count if ``num_batches`` in the result metadata is
+        below ``trajectory_workers``), and because up to ``workers`` chunks
+        are live at once, the peak working set is about
+        ``trajectory_workers x max_batch_memory`` bytes.
     """
 
     def __init__(
@@ -311,6 +363,7 @@ class StatevectorSimulator:
         max_batch_memory: Optional[int] = DEFAULT_MAX_BATCH_MEMORY,
         trajectory_engine: str = "batched",
         trajectory_dtype: str = "complex64",
+        trajectory_workers: Union[int, str] = 1,
     ):
         if trajectory_engine not in ("batched", "reference"):
             raise SimulationError(
@@ -324,10 +377,20 @@ class StatevectorSimulator:
             )
         if max_batch_memory is not None and max_batch_memory <= 0:
             raise SimulationError("max_batch_memory must be positive (or None)")
+        if trajectory_workers == "auto":
+            trajectory_workers = os.cpu_count() or 1
+        if not isinstance(trajectory_workers, int) or isinstance(trajectory_workers, bool):
+            raise SimulationError(
+                f"trajectory_workers must be a positive int or 'auto', "
+                f"got {trajectory_workers!r}"
+            )
+        if trajectory_workers < 1:
+            raise SimulationError("trajectory_workers must be >= 1")
         self.noise_model = noise_model
         self.max_batch_memory = max_batch_memory
         self.trajectory_engine = trajectory_engine
         self.trajectory_dtype = trajectory_dtype
+        self.trajectory_workers = trajectory_workers
 
     def run(
         self,
@@ -375,7 +438,7 @@ class StatevectorSimulator:
             or any(inst.name == "reset" for inst in circuit.instructions)
         )
         if needs_trajectories:
-            counts, final_state, extra = self._run_trajectories(circuit, shots, rng)
+            counts, final_state, extra = self._run_trajectories(circuit, shots, rng, seed)
             method = "trajectories"
             # Implicit sampling never collapses, so the returned state is the
             # last trajectory's pre-measurement state, as on the exact path.
@@ -433,11 +496,12 @@ class StatevectorSimulator:
 
     # -- trajectory path -----------------------------------------------------------
     def _run_trajectories(
-        self, circuit: Circuit, shots: int, rng: np.random.Generator
+        self, circuit: Circuit, shots: int, rng: np.random.Generator, seed: Optional[int]
     ) -> Tuple[Counts, Statevector, Dict[str, object]]:
+        """Dispatch to the selected trajectory engine."""
         if self.trajectory_engine == "reference":
             return self._run_trajectories_reference(circuit, shots, rng)
-        return self._run_trajectories_batched(circuit, shots, rng)
+        return self._run_trajectories_batched(circuit, shots, seed)
 
     def _batch_size_for(self, num_qubits: int, shots: int) -> int:
         """Largest shot chunk whose state + scratch fit ``max_batch_memory``."""
@@ -448,14 +512,27 @@ class StatevectorSimulator:
         return max(1, min(shots, self.max_batch_memory // bytes_per_shot))
 
     def _run_trajectories_batched(
-        self, circuit: Circuit, shots: int, rng: np.random.Generator
+        self, circuit: Circuit, shots: int, seed: Optional[int]
     ) -> Tuple[Counts, Statevector, Dict[str, object]]:
+        """Compile once, then run the shot chunks (possibly across threads).
+
+        The shot axis is first split into chunks sized by ``max_batch_memory``
+        — a decomposition that depends only on the byte budget, the circuit
+        width, the dtype, and the shot count, never on ``trajectory_workers``.
+        Every chunk gets its own RNG stream spawned from
+        ``SeedSequence(seed)``, so a seeded run produces bit-identical counts
+        whether the chunks execute serially or on a thread pool: the heavy
+        NumPy kernels release the GIL, and no mutable state is shared between
+        chunks (each :class:`BatchedStatevector` owns its buffers; compiled
+        program data and gate caches are read-only at this point).
+        """
         from .batched import BatchedStatevector  # local import: cycle with batched.py
         from .fusion import compile_trajectory_program
 
         extra: Dict[str, object] = {
             "trajectory_engine": "batched",
             "trajectory_dtype": self.trajectory_dtype,
+            "trajectory_workers": self.trajectory_workers,
         }
         if shots == 0:
             extra.update({"implicit_measurement": False, "num_batches": 0, "batch_size": 0})
@@ -467,25 +544,37 @@ class StatevectorSimulator:
         program = compile_trajectory_program(circuit, noise)
         implicit = program.terminal is not None and program.terminal.implicit
         batch_size = self._batch_size_for(circuit.num_qubits, shots)
-        all_bits: List[np.ndarray] = []
-        remaining = shots
-        num_batches = 0
-        state: BatchedStatevector
-        last_index: Optional[int] = None
-        while remaining > 0:
-            size = min(batch_size, remaining)
-            bits, state, last_index = self._run_batch(program, size, rng)
-            all_bits.append(bits)
-            remaining -= size
-            num_batches += 1
-        counts = Counts.from_array(np.concatenate(all_bits, axis=0))
+        sizes = [batch_size] * (shots // batch_size)
+        if shots % batch_size:
+            sizes.append(shots % batch_size)
+        streams = np.random.SeedSequence(seed).spawn(len(sizes))
+
+        def run_chunk(chunk: int):
+            """One chunk's bit rows; the chunk state is kept only for the last
+            chunk (the result-statevector contract) so peak memory stays at
+            ~``workers x max_batch_memory`` instead of one state per chunk."""
+            bits, state, last_index = self._run_batch(
+                program, sizes[chunk], np.random.default_rng(streams[chunk])
+            )
+            if chunk == len(sizes) - 1:
+                return bits, state, last_index
+            return bits, None, None
+
+        workers = min(self.trajectory_workers, len(sizes))
+        if workers <= 1:
+            results = [run_chunk(chunk) for chunk in range(len(sizes))]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(run_chunk, range(len(sizes))))
+        counts = Counts.from_array(np.concatenate([bits for bits, _, _ in results], axis=0))
+        _, state, last_index = results[-1]
         final_state = state.extract(-1)
         if program.terminal is not None and not implicit and last_index is not None:
             self._collapse_terminal(final_state, program.terminal.pairs, last_index)
         extra.update(
             {
                 "implicit_measurement": implicit,
-                "num_batches": num_batches,
+                "num_batches": len(sizes),
                 "batch_size": batch_size,
                 "compiled_steps": len(program.steps),
             }

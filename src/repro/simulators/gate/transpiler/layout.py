@@ -49,6 +49,7 @@ class Layout:
 
     @property
     def num_logical(self) -> int:
+        """Number of logical qubits in the mapping."""
         return len(self._l2p)
 
     def physical_qubits(self) -> List[int]:
@@ -66,6 +67,7 @@ class Layout:
         self._p2l = {p: l for l, p in self._l2p.items()}
 
     def copy(self) -> "Layout":
+        """An independent copy of this layout."""
         return Layout(dict(self._l2p))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,34 +14,51 @@ import numpy as np
 
 from ...core.errors import SimulationError
 from .circuit import Circuit
+from .fusion import compile_trajectory_program
 from .gates import gate_matrix
+from .kernels import apply_plan_inplace
 
 __all__ = ["circuit_unitary", "equal_up_to_global_phase"]
 
 MAX_UNITARY_QUBITS = 12
 
 
-def circuit_unitary(circuit: Circuit) -> np.ndarray:
+def circuit_unitary(circuit: Circuit, *, fuse: bool = True) -> np.ndarray:
     """The ``2^n x 2^n`` unitary implemented by *circuit*.
 
     The column/row index follows the simulator's flat-index convention
-    (qubit 0 is the most significant position).  Measurements, resets and
-    barriers are rejected (barriers excepted — they are no-ops).
+    (qubit 0 is the most significant position).  Measurements and resets are
+    rejected (barriers excepted — they are no-ops).
+
+    The columns of U are the images of the basis states, evolved all at once
+    by treating the column index as a trailing batch axis — the batched
+    engine's exact layout.  With ``fuse=True`` (the default) the circuit is
+    first compiled through the
+    :func:`~repro.simulators.gate.fusion.compile_trajectory_program` fusion
+    compiler and each fused step is applied with the in-place slice kernels,
+    so a transpiled sweep costs one traversal per fused block instead of one
+    ``moveaxis -> matmul -> moveaxis`` round trip per instruction.
+    ``fuse=False`` keeps the instruction-by-instruction route as the
+    executable specification.
     """
     n = circuit.num_qubits
     if n > MAX_UNITARY_QUBITS:
         raise SimulationError(
             f"circuit_unitary limited to {MAX_UNITARY_QUBITS} qubits, got {n}"
         )
+    for inst in circuit.instructions:
+        if inst.name != "barrier" and not inst.is_gate:
+            raise SimulationError("circuit_unitary requires a purely unitary circuit")
     dim = 1 << n
-    # Columns of U are the images of basis states; evolve all of them at once
-    # by treating the column index as a trailing batch axis.
     tensor = np.eye(dim, dtype=np.complex128).reshape((2,) * n + (dim,))
+    if fuse:
+        program = compile_trajectory_program(circuit)
+        for step in program.steps:
+            apply_plan_inplace(tensor, step.plan, step.qubits)
+        return tensor.reshape(dim, dim)
     for inst in circuit.instructions:
         if inst.name == "barrier":
             continue
-        if not inst.is_gate:
-            raise SimulationError("circuit_unitary requires a purely unitary circuit")
         matrix = gate_matrix(inst.name, inst.params)
         m = len(inst.qubits)
         moved = np.moveaxis(tensor, list(inst.qubits), range(m))

@@ -1,0 +1,209 @@
+"""Tests for parallel chunked trajectory execution and fused unitary sweeps.
+
+Two contracts from this PR:
+
+* **worker-count reproducibility** — every shot chunk draws from its own
+  ``SeedSequence``-spawned RNG stream and the chunk decomposition depends
+  only on ``max_batch_memory``, so a seeded run yields *bit-identical*
+  counts for any ``trajectory_workers`` value, across noisy, mid-circuit
+  measurement and reset circuits.
+* **fused sweep equivalence** — ``Statevector.evolve`` and
+  ``circuit_unitary`` route through the fusion compiler by default and must
+  match their unfused executable specifications exactly (up to float
+  rounding of the fused matrix products).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.simulators.gate import (
+    Circuit,
+    NoiseModel,
+    Statevector,
+    StatevectorSimulator,
+    circuit_unitary,
+    transpile,
+)
+from repro.simulators.gate.fusion import GateStep, compile_trajectory_program
+
+
+def noisy_circuit():
+    circuit = Circuit(3, 3)
+    circuit.h(0).cx(0, 1).cx(1, 2)
+    circuit.measure_all()
+    return circuit, NoiseModel(oneq_error=0.02, twoq_error=0.05, readout_error=0.02)
+
+
+def mid_circuit_measurement_circuit():
+    circuit = Circuit(2, 3)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.h(0).cx(0, 1)
+    circuit.measure(0, 1)
+    circuit.measure(1, 2)
+    return circuit, None
+
+
+def reset_circuit():
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1)
+    circuit.reset(0)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    circuit.measure(1, 1)
+    return circuit, None
+
+
+# -- worker-count reproducibility ---------------------------------------------------
+
+@pytest.mark.parametrize(
+    "make", [noisy_circuit, mid_circuit_measurement_circuit, reset_circuit]
+)
+def test_same_seed_identical_counts_across_worker_counts(make):
+    circuit, noise = make()
+    # 3 qubits, complex64: 128 B/shot -> 32-shot chunks -> many chunks.
+    runs = {}
+    for workers in (1, 4):
+        simulator = StatevectorSimulator(
+            noise_model=noise,
+            max_batch_memory=128 * 32,
+            trajectory_workers=workers,
+        )
+        result = simulator.run(circuit, shots=900, seed=71)
+        assert result.metadata["trajectory_workers"] == workers
+        assert result.metadata["num_batches"] > 1
+        runs[workers] = dict(result.counts)
+    assert runs[1] == runs[4]
+
+
+def test_worker_count_does_not_change_chunk_decomposition():
+    circuit, noise = noisy_circuit()
+    metas = []
+    for workers in (1, 4):
+        simulator = StatevectorSimulator(
+            noise_model=noise, max_batch_memory=128 * 16, trajectory_workers=workers
+        )
+        metas.append(simulator.run(circuit, shots=500, seed=3).metadata)
+    assert metas[0]["num_batches"] == metas[1]["num_batches"]
+    assert metas[0]["batch_size"] == metas[1]["batch_size"]
+
+
+def test_parallel_single_chunk_matches_serial():
+    # One chunk (no chunking): the pool is bypassed but results must agree.
+    circuit, noise = noisy_circuit()
+    serial = StatevectorSimulator(noise_model=noise).run(circuit, shots=400, seed=9)
+    threaded = StatevectorSimulator(noise_model=noise, trajectory_workers=8).run(
+        circuit, shots=400, seed=9
+    )
+    assert serial.metadata["num_batches"] == 1
+    assert dict(serial.counts) == dict(threaded.counts)
+
+
+def test_parallel_statevector_matches_serial():
+    circuit, noise = reset_circuit()
+    kwargs = dict(noise_model=noise, max_batch_memory=128 * 32)
+    serial = StatevectorSimulator(trajectory_workers=1, **kwargs).run(
+        circuit, shots=300, seed=5, return_statevector=True
+    )
+    threaded = StatevectorSimulator(trajectory_workers=4, **kwargs).run(
+        circuit, shots=300, seed=5, return_statevector=True
+    )
+    assert np.allclose(serial.statevector.data, threaded.statevector.data)
+
+
+def test_trajectory_workers_validation():
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(trajectory_workers=0)
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(trajectory_workers=-2)
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(trajectory_workers="many")
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(trajectory_workers=2.5)
+    assert StatevectorSimulator(trajectory_workers="auto").trajectory_workers >= 1
+
+
+def test_backend_wires_trajectory_workers():
+    from repro.backends import GateBackend
+    from repro.problems import MaxCutProblem
+    from repro.workflows import build_qaoa_bundle
+
+    bundle = build_qaoa_bundle(MaxCutProblem.cycle(4))
+    options = bundle.context.exec.options
+    options["noise"] = {"oneq_error": 1e-3}
+    options["trajectory_workers"] = 4
+    options["max_batch_memory"] = 4096
+    result = GateBackend().run(bundle)
+    assert result.metadata["trajectory_workers"] == 4
+    assert result.metadata["num_batches"] > 1
+
+
+# -- fused unitary sweeps ----------------------------------------------------------
+
+def transpiled_sweep(num_qubits, seed=11):
+    """A transpiled rz/sx/cx workload — the shape fusion pays off on."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits)
+    for layer in range(3):
+        for q in range(num_qubits):
+            circuit.h(q)
+            circuit.rz(float(rng.uniform(-np.pi, np.pi)), q)
+        for q in range(0, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+        for q in range(1, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+    return transpile(circuit, basis_gates=["rz", "sx", "cx"]).circuit
+
+
+def test_fused_evolve_matches_unfused_path():
+    circuit = transpiled_sweep(5)
+    fused = Statevector(5).evolve(circuit)
+    unfused = Statevector(5).evolve(circuit, fuse=False)
+    assert np.allclose(fused.data, unfused.data, atol=1e-10)
+
+
+def test_fused_evolve_handles_wide_gates_and_barriers():
+    circuit = Circuit(3)
+    circuit.h(0).barrier()
+    circuit.ccx(0, 1, 2)
+    circuit.rz(0.4, 2)
+    fused = Statevector(3).evolve(circuit)
+    unfused = Statevector(3).evolve(circuit, fuse=False)
+    assert np.allclose(fused.data, unfused.data, atol=1e-12)
+
+
+def test_fused_evolve_uses_fewer_applications():
+    circuit = transpiled_sweep(4)
+    program = compile_trajectory_program(circuit)
+    gate_steps = [s for s in program.steps if isinstance(s, GateStep)]
+    raw_gates = sum(1 for inst in circuit.instructions if inst.is_gate)
+    assert len(gate_steps) < raw_gates / 2
+
+
+@pytest.mark.parametrize("fuse", [True, False])
+def test_evolve_rejects_measurements(fuse):
+    circuit = Circuit(1, 1)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    with pytest.raises(SimulationError):
+        Statevector(1).evolve(circuit, fuse=fuse)
+
+
+def test_fused_circuit_unitary_matches_unfused():
+    circuit = transpiled_sweep(4)
+    fused = circuit_unitary(circuit)
+    unfused = circuit_unitary(circuit, fuse=False)
+    assert np.allclose(fused, unfused, atol=1e-10)
+    identity = fused @ fused.conj().T
+    assert np.allclose(identity, np.eye(fused.shape[0]), atol=1e-9)
+
+
+def test_fused_circuit_unitary_rejects_reset():
+    circuit = Circuit(2)
+    circuit.h(0)
+    circuit.reset(1)
+    with pytest.raises(SimulationError):
+        circuit_unitary(circuit)
+    with pytest.raises(SimulationError):
+        circuit_unitary(circuit, fuse=False)
