@@ -1,0 +1,152 @@
+"""Density-oracle benchmark: exact closed-form vs sampled trajectories, with
+crossover record.
+
+Times the same noisy workload through the exact density-matrix engine and the
+batched (and, at small widths, per-shot reference) trajectory engines across
+circuit widths, and writes ``BENCH_density.json`` at the repository root.  The
+interesting quantity is the **crossover width**: the density engine costs
+``O(4^n)`` per gate but is shot-free, while a trajectory engine costs
+``O(shots x 2^n)`` — so below the crossover the oracle is the *cheaper* way to
+get a distribution, and above it sampling wins.  The record keeps that
+boundary visible as kernels and workloads evolve.
+
+Every row also cross-checks correctness: the batched engine's empirical
+histogram must sit within a total-variation tolerance of the oracle's exact
+distribution (the same check the differential test suite enforces).
+
+Run standalone (``python benchmarks/bench_density.py``) or via pytest
+(``pytest benchmarks/bench_density.py``).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulators.gate import (
+    Circuit,
+    DensityMatrixSimulator,
+    NoiseModel,
+    StatevectorSimulator,
+    transpile,
+)
+
+SHOTS = 1024
+QUBIT_SIZES = (2, 4, 6, 8)
+REFERENCE_MAX_QUBITS = 6  # the per-shot loop is too slow beyond this width
+BASIS = ("rz", "sx", "cx")
+NOISE = dict(oneq_error=1e-3, twoq_error=1e-2, readout_error=2e-2)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_density.json"
+
+
+def layered_workload(num_qubits: int, layers: int = 3) -> Circuit:
+    """The trajectory benchmark's H/RZ + CX-brickwork shape, transpiled."""
+    circuit = Circuit(num_qubits, num_qubits)
+    for layer in range(layers):
+        for q in range(num_qubits):
+            circuit.h(q)
+            circuit.rz(0.1 * q + 0.2 * layer, q)
+        for q in range(0, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+        for q in range(1, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+    circuit.measure_all()
+    return transpile(circuit, basis_gates=list(BASIS), optimization_level=1).circuit
+
+
+def time_call(fn, repeats: int):
+    """Best-of-*repeats* wall clock and the last return value."""
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def total_variation(counts, exact) -> float:
+    """TVD between an empirical histogram and exact probabilities."""
+    shots = counts.shots
+    keys = set(counts) | set(exact)
+    return 0.5 * sum(
+        abs(counts.get(key, 0) / shots - exact.get(key, 0.0)) for key in keys
+    )
+
+
+def run_suite(qubit_sizes=QUBIT_SIZES, shots=SHOTS, seed=1):
+    """Time oracle vs trajectory engines per width and write the JSON record."""
+    noise = NoiseModel(**NOISE)
+    rows = []
+    for num_qubits in qubit_sizes:
+        circuit = layered_workload(num_qubits)
+        repeats = 3 if num_qubits <= 6 else 2
+        oracle = DensityMatrixSimulator(noise_model=noise)
+        density_s, exact = time_call(lambda: oracle.probabilities(circuit), repeats)
+        batched = StatevectorSimulator(noise_model=noise)
+        batched_s, batched_result = time_call(
+            lambda: batched.run(circuit, shots=shots, seed=seed), repeats
+        )
+        tvd = total_variation(batched_result.counts, exact)
+        k = max(len(exact), 2)
+        assert tvd < 5.0 * np.sqrt(k / (2 * np.pi * shots)), (num_qubits, tvd)
+        row = {
+            "num_qubits": num_qubits,
+            "shots": shots,
+            "gates": circuit.num_gates(),
+            "density_s": round(density_s, 4),
+            "batched_s": round(batched_s, 4),
+            "density_vs_batched": round(density_s / batched_s, 2),
+            "tvd_batched_vs_exact": round(tvd, 4),
+        }
+        if num_qubits <= REFERENCE_MAX_QUBITS:
+            reference = StatevectorSimulator(noise_model=noise, trajectory_engine="reference")
+            reference_s, _ = time_call(
+                lambda: reference.run(circuit, shots=shots, seed=seed), repeats
+            )
+            row["per_shot_reference_s"] = round(reference_s, 4)
+            row["density_vs_reference"] = round(density_s / reference_s, 2)
+        rows.append(row)
+    # The smallest width where exact costs more than sampling; None while the
+    # oracle is cheaper everywhere measured.
+    crossover = next(
+        (row["num_qubits"] for row in rows if row["density_s"] > row["batched_s"]),
+        None,
+    )
+    record = {
+        "benchmark": "density_oracle",
+        "noise": NOISE,
+        "shots": shots,
+        "cpu_count": os.cpu_count(),
+        "crossover_num_qubits": crossover,
+        "rows": rows,
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def test_density_oracle_crossover(benchmark=None):
+    """The oracle agrees with the batched engine and the record is well formed.
+
+    Correctness (TVD per row) is asserted inside :func:`run_suite`; here the
+    record's shape is checked and the headline row is exported to
+    pytest-benchmark when available.  No absolute-speed assertion is made —
+    the crossover width is a property of the host, not a pass/fail gate.
+    """
+    record = run_suite()
+    assert len(record["rows"]) == len(QUBIT_SIZES)
+    for row in record["rows"]:
+        assert row["density_s"] > 0 and row["batched_s"] > 0
+    if benchmark is not None and hasattr(benchmark, "extra_info"):
+        headline = record["rows"][-1]
+        benchmark.extra_info.update(headline)
+        circuit = layered_workload(headline["num_qubits"])
+        oracle = DensityMatrixSimulator(noise_model=NoiseModel(**NOISE))
+        benchmark(lambda: oracle.probabilities(circuit))
+
+
+if __name__ == "__main__":
+    report = run_suite()
+    print(json.dumps(report, indent=2))
+    print(f"wrote {OUTPUT}")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Density-matrix oracle: exact noisy distributions and expectation values.
+
+Three demonstrations of the ``engine="density"`` workload class introduced by
+the density-matrix engine:
+
+1. **Exact distributions** — the noisy GHZ circuit's outcome probabilities in
+   closed form (no shots, no sampling error), versus the batched trajectory
+   engine's empirical histogram at 4096 shots (total-variation distance
+   printed).
+2. **Exact expectation values** — ``<ZZ>``, ``<XX>`` and a mixed-term
+   Hamiltonian on the noisy state, computed as ``tr(O rho)`` to machine
+   precision.
+3. **Exact noisy fidelity** — how far depolarizing noise drags the state from
+   the ideal GHZ target, measured as ``<psi_ideal| rho |psi_ideal>``.
+
+Run:  python examples/density_oracle.py
+"""
+
+from repro.simulators.gate import (
+    Circuit,
+    DensityMatrix,
+    DensityMatrixSimulator,
+    NoiseModel,
+    Statevector,
+    StatevectorSimulator,
+)
+
+SHOTS = 4096
+NOISE = NoiseModel(oneq_error=0.01, twoq_error=0.03, readout_error=0.02)
+
+
+def ghz(num_qubits: int, measured: bool = True) -> Circuit:
+    """The GHZ preparation circuit, optionally with terminal measurements."""
+    circuit = Circuit(num_qubits, num_qubits)
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    if measured:
+        circuit.measure_all()
+    return circuit
+
+
+def main() -> None:
+    """Run the oracle demonstrations and print the headline numbers."""
+    oracle = DensityMatrixSimulator(noise_model=NOISE)
+    circuit = ghz(3)
+
+    # 1. Exact distribution vs sampled histogram.
+    exact = oracle.probabilities(circuit)
+    sampled = StatevectorSimulator(noise_model=NOISE).run(
+        circuit, shots=SHOTS, seed=11
+    )
+    empirical = {key: count / SHOTS for key, count in sampled.counts.items()}
+    tvd = 0.5 * sum(
+        abs(exact.get(k, 0.0) - empirical.get(k, 0.0))
+        for k in set(exact) | set(empirical)
+    )
+    print("Exact noisy GHZ distribution (density oracle)")
+    for key in sorted(exact, key=exact.get, reverse=True)[:4]:
+        print(f"  P({key}) = {exact[key]:.6f}   sampled {empirical.get(key, 0.0):.6f}")
+    print(f"  TVD(batched @ {SHOTS} shots, exact) = {tvd:.4f}")
+    print()
+
+    # 2. Exact expectation values on the noisy pre-measurement state.
+    unitary = ghz(3, measured=False)
+    print("Exact expectation values, tr(O rho)")
+    for observable in ("ZZI", "XXX"):
+        print(f"  <{observable}> = {oracle.expectation(unitary, observable):+.6f}")
+    hamiltonian = {"ZZI": 0.5, "IZZ": 0.5, "XXX": -1.0}
+    energy = oracle.expectation(unitary, hamiltonian)
+    print(f"  <H> for H = 0.5 ZZI + 0.5 IZZ - XXX : {energy:+.6f}")
+    print()
+
+    # 3. Exact noisy fidelity against the ideal GHZ state.
+    ideal = Statevector(3).evolve(ghz(3, measured=False))
+    rho = DensityMatrix(3).evolve(ghz(3, measured=False), noise_model=NOISE)
+    fidelity = rho.fidelity(ideal)
+    print(f"Exact noisy fidelity <GHZ| rho |GHZ> = {fidelity:.6f}")
+    assert fidelity < 1.0 and tvd < 0.1
+    print("Oracle and trajectory engines agree within sampling tolerance: True")
+
+
+if __name__ == "__main__":
+    main()

@@ -90,13 +90,22 @@ class GateBackend(Backend):
         ``max_batch_memory`` (int bytes or ``None``, default 16 MiB)
             Byte budget for the batched engine's per-chunk working set;
             ``None`` disables chunking.
-        ``trajectory_engine`` (``"batched"`` | ``"reference"``, default
-            ``"batched"``)
-            Which trajectory engine executes noisy / mid-circuit-measuring
-            circuits.
+        ``trajectory_engine`` (``"batched"`` | ``"reference"`` |
+            ``"density"``, default ``"batched"``)
+            Which engine executes noisy / mid-circuit-measuring circuits.
+            ``"density"`` routes the whole run through the exact
+            density-matrix oracle (closed-form probabilities, noise as CPTP
+            maps; capped at
+            :data:`~repro.simulators.gate.density.MAX_DENSITY_QUBITS`
+            qubits).
         ``trajectory_dtype`` (``"complex64"`` | ``"complex128"``, default
             ``"complex64"``)
             State dtype of the batched engine.
+        ``density_sampling`` (``"multinomial"`` | ``"deterministic"``,
+            default ``"multinomial"``)
+            How the density engine converts exact probabilities to counts:
+            seeded multinomial draws, or RNG-free largest-remainder
+            apportionment.  Ignored by the other engines.
         ``trajectory_workers`` (int >= 1 or ``"auto"``, default ``1``)
             Thread count for parallel chunk execution in the batched
             engine.  Seeded results are bit-identical for every value; the
@@ -128,6 +137,9 @@ class GateBackend(Backend):
                 # Passed through unconverted: the simulator enforces the
                 # int-or-"auto" contract and coercing here would mask it.
                 trajectory_workers=exec_policy.options.get("trajectory_workers", 1),
+                density_sampling=str(
+                    exec_policy.options.get("density_sampling", "multinomial")
+                ),
             )
             simulation = simulator.run(
                 transpiled.circuit,

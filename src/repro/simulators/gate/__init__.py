@@ -2,6 +2,12 @@
 
 from .batched import BatchedStatevector
 from .circuit import Circuit, Instruction
+from .density import (
+    MAX_DENSITY_QUBITS,
+    DensityMatrix,
+    DensityMatrixSimulator,
+    pauli_terms,
+)
 from .gates import GateDef, cached_gate_matrix, gate_matrix, get_gate, has_gate, list_gates
 from .noise import NoiseModel
 from .statevector import (
@@ -19,6 +25,10 @@ __all__ = [
     "BatchedStatevector",
     "Circuit",
     "Instruction",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "MAX_DENSITY_QUBITS",
+    "pauli_terms",
     "GateDef",
     "gate_matrix",
     "cached_gate_matrix",

@@ -134,7 +134,7 @@ class BatchedStatevector:
         inner = (1 << (self.num_qubits - qubit - 1)) * self.batch_size
         view = self._tensor.reshape(outer, 2, inner)
         out = self._scratch.reshape(outer, 2, inner)
-        np.matmul(matrix.astype(self.dtype), view, out=out)
+        np.matmul(matrix.astype(self.dtype, copy=False), view, out=out)
         self._tensor, self._scratch = self._scratch, self._tensor
 
     def _apply_dense_2q_adjacent(self, matrix: np.ndarray, qubit_a: int, qubit_b: int) -> None:
@@ -152,7 +152,7 @@ class BatchedStatevector:
         inner = (1 << (self.num_qubits - lo - 2)) * self.batch_size
         view = self._tensor.reshape(outer, 4, inner)
         out = self._scratch.reshape(outer, 4, inner)
-        np.matmul(matrix.astype(self.dtype), view, out=out)
+        np.matmul(matrix.astype(self.dtype, copy=False), view, out=out)
         self._tensor, self._scratch = self._scratch, self._tensor
 
     # -- measurement / reset ----------------------------------------------------
@@ -198,7 +198,11 @@ class BatchedStatevector:
         outcomes = self.measure(qubit, rng)
         if outcomes.any():
             view = self._split_view(qubit)
-            weights = outcomes.astype(np.float32).reshape(1, 1, self.batch_size)
+            # Match the tensor's precision (float32 for complex64, float64
+            # for complex128) so no lower-precision operand enters the
+            # complex128 path.  The weights are exact 0/1 either way.
+            real_dtype = np.float32 if self.dtype == np.dtype(np.complex64) else np.float64
+            weights = outcomes.astype(real_dtype).reshape(1, 1, self.batch_size)
             view[:, 0] += weights * view[:, 1]
             view[:, 1] *= 1.0 - weights
         return outcomes

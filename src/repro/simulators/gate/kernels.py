@@ -31,7 +31,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["MatrixPlan", "build_plan", "apply_plan_inplace", "apply_matrix_inplace"]
+__all__ = [
+    "MatrixPlan",
+    "build_plan",
+    "conjugate_plan",
+    "apply_plan_inplace",
+    "apply_matrix_inplace",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,26 @@ def build_plan(matrix: np.ndarray) -> MatrixPlan:
             continue  # identity row: slice r is untouched
         rows.append((r, nonzero))
     return MatrixPlan(dim, num_qubits, None, tuple(rows))
+
+
+def conjugate_plan(plan: MatrixPlan) -> MatrixPlan:
+    """The plan of the element-wise complex conjugate of a planned matrix.
+
+    Conjugation preserves sparsity structure (zeros stay zero, identity rows
+    stay identity rows), so the conjugate plan is derived entry-by-entry from
+    an existing plan instead of re-analysing the matrix.  The density-matrix
+    engine uses this to evolve ``rho -> U rho U^dagger`` with the same fused
+    slice kernels as the state-vector engines: ``U``'s plan is applied to the
+    row (ket) axes and ``conj(U)``'s plan to the column (bra) axes.
+    """
+    if plan.diagonal is not None:
+        diagonal = tuple(entry.conjugate() for entry in plan.diagonal)
+        return MatrixPlan(plan.dim, plan.num_qubits, diagonal, ())
+    rows = tuple(
+        (r, tuple((c, coeff.conjugate()) for c, coeff in terms))
+        for r, terms in plan.rows
+    )
+    return MatrixPlan(plan.dim, plan.num_qubits, None, rows)
 
 
 def _slice_index(ndim: int, axes: Sequence[int], bits: int) -> Tuple:

@@ -31,6 +31,12 @@ The simulator picks one of three paths per run:
   executable specification the batched engine is tested against
   (``trajectory_engine="reference"``).
 
+A fourth engine sits outside the sampling family:
+``trajectory_engine="density"`` routes the whole run through the exact
+:class:`~repro.simulators.gate.density.DensityMatrixSimulator` oracle, which
+computes the outcome distribution in closed form (noise applied as CPTP maps)
+instead of sampling trajectories at all.
+
 State layout
 ------------
 A single state is stored as a tensor of shape ``(2,) * n`` where axis ``i``
@@ -171,6 +177,38 @@ class Statevector:
         if qubit_a > qubit_b:
             marginal = marginal.T
         return float(marginal[0, 0] + marginal[1, 1] - marginal[0, 1] - marginal[1, 0])
+
+    def expectation(self, observable) -> float:
+        """Exact ``<psi| O |psi>`` of a Hermitian observable on this pure state.
+
+        *observable* is either a full ``2^n x 2^n`` matrix or a Pauli
+        specification (a string like ``"ZZI"`` with character ``i`` acting on
+        qubit ``i``, a mapping of Pauli strings to coefficients, or
+        ``(string, coefficient)`` pairs) — the same contract as
+        :meth:`DensityMatrix.expectation
+        <repro.simulators.gate.density.DensityMatrix.expectation>`, so the
+        density oracle and the pure-state engines are directly comparable.
+        """
+        from .density import pauli_terms  # local: density imports this module
+        from .gates import cached_gate_plan
+        from .kernels import apply_plan_inplace
+
+        if isinstance(observable, np.ndarray):
+            dim = 1 << self.num_qubits
+            if observable.shape != (dim, dim):
+                raise SimulationError(
+                    f"observable shape {observable.shape} does not match dimension {dim}"
+                )
+            psi = self.data
+            return float(np.real(np.vdot(psi, observable @ psi)))
+        total = 0.0
+        for coeff, string in pauli_terms(observable, self.num_qubits):
+            work = self._tensor.copy()
+            for qubit, char in enumerate(string):
+                if char != "I":
+                    apply_plan_inplace(work, cached_gate_plan(char.lower()), [qubit])
+            total += coeff * float(np.real(np.vdot(self.data, work.reshape(-1))))
+        return total
 
     # -- evolution ------------------------------------------------------------------
     def apply_matrix(
@@ -333,6 +371,19 @@ class StatevectorSimulator:
         kept as the executable specification.  Both sample the same
         distributions, but their RNG consumption patterns differ, so
         per-seed counts are only identical within one engine.
+        ``"density"`` routes **every** run through the exact
+        :class:`~repro.simulators.gate.density.DensityMatrixSimulator`
+        oracle: outcome probabilities are computed in closed form (noise as
+        CPTP maps, readout as an exact bit-flip channel) and counts carry no
+        sampling error beyond the chosen ``density_sampling`` conversion.
+        Width is capped at
+        :data:`~repro.simulators.gate.density.MAX_DENSITY_QUBITS` qubits.
+    density_sampling:
+        How the density engine converts exact probabilities to integer
+        counts: ``"multinomial"`` (default) draws shots from the exact
+        distribution with the run's seed; ``"deterministic"`` apportions
+        ``p * shots`` by largest remainder with no RNG at all.  Ignored by
+        the other engines.
     trajectory_dtype:
         ``"complex64"`` (default) or ``"complex128"`` for the batched
         engine's state tensor.  The engine is memory-bandwidth bound, and
@@ -364,11 +415,17 @@ class StatevectorSimulator:
         trajectory_engine: str = "batched",
         trajectory_dtype: str = "complex64",
         trajectory_workers: Union[int, str] = 1,
+        density_sampling: str = "multinomial",
     ):
-        if trajectory_engine not in ("batched", "reference"):
+        if trajectory_engine not in ("batched", "reference", "density"):
             raise SimulationError(
                 f"unknown trajectory engine {trajectory_engine!r}; "
-                "expected 'batched' or 'reference'"
+                "expected 'batched', 'reference' or 'density'"
+            )
+        if density_sampling not in ("multinomial", "deterministic"):
+            raise SimulationError(
+                f"unknown density sampling mode {density_sampling!r}; "
+                "expected 'multinomial' or 'deterministic'"
             )
         if trajectory_dtype not in ("complex64", "complex128"):
             raise SimulationError(
@@ -391,6 +448,7 @@ class StatevectorSimulator:
         self.trajectory_engine = trajectory_engine
         self.trajectory_dtype = trajectory_dtype
         self.trajectory_workers = trajectory_workers
+        self.density_sampling = density_sampling
 
     def run(
         self,
@@ -427,9 +485,19 @@ class StatevectorSimulator:
         * trajectory path, measurement-free (implicit) circuits:
           ``"pre_measurement"`` — the last shot's final state; the implicit
           sampling never collapses (mid-circuit noise/resets are applied).
+        * density engine: a mixed state has no statevector, so the result's
+          ``statevector`` is always ``None`` and the kind is ``"none"``.
         """
         if shots < 0:
             raise SimulationError("shots must be non-negative")
+        if self.trajectory_engine == "density":
+            # The exact oracle handles every construct (noise, mid-circuit
+            # measurement, reset) in closed form, so it owns the whole run.
+            from .density import DensityMatrixSimulator  # local: import cycle
+
+            return DensityMatrixSimulator(
+                noise_model=self.noise_model, sampling=self.density_sampling
+            ).run(circuit, shots=shots, seed=seed)
         rng = np.random.default_rng(seed)
 
         needs_trajectories = (

@@ -1,0 +1,144 @@
+"""Shared helpers for the differential / property test harness.
+
+Seeded random-circuit generators and distribution-distance metrics used by
+``test_differential_engines.py`` and ``test_fusion_properties.py``.  Not a
+test module itself (no ``test_`` prefix, so pytest does not collect it).
+"""
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.simulators.gate import Circuit
+
+ONEQ_GATES = (
+    ("h", 0),
+    ("x", 0),
+    ("y", 0),
+    ("z", 0),
+    ("s", 0),
+    ("t", 0),
+    ("sx", 0),
+    ("rx", 1),
+    ("ry", 1),
+    ("rz", 1),
+    ("p", 1),
+    ("u", 3),
+)
+TWOQ_GATES = (
+    ("cx", 0),
+    ("cz", 0),
+    ("swap", 0),
+    ("rzz", 1),
+    ("cp", 1),
+    ("crx", 1),
+)
+
+
+def random_unitary_circuit(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+    *,
+    twoq_fraction: float = 0.4,
+) -> Circuit:
+    """A random purely-unitary circuit (no measure/reset/barrier).
+
+    Each of the *depth* slots draws a one-qubit gate (random qubit, random
+    angles) or, with probability *twoq_fraction*, a two-qubit gate on a
+    random qubit pair — adjacent with 50% probability so both the fused
+    adjacent-GEMM path and the generic slice-kernel path are exercised.
+    """
+    circuit = Circuit(num_qubits, num_qubits)
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < twoq_fraction:
+            name, num_params = TWOQ_GATES[rng.integers(len(TWOQ_GATES))]
+            if rng.random() < 0.5 and num_qubits >= 2:
+                a = int(rng.integers(num_qubits - 1))
+                pair = [a, a + 1] if rng.random() < 0.5 else [a + 1, a]
+            else:
+                pair = list(rng.choice(num_qubits, size=2, replace=False))
+            circuit.append(name, pair, [float(rng.uniform(0, 2 * np.pi)) for _ in range(num_params)])
+        else:
+            name, num_params = ONEQ_GATES[rng.integers(len(ONEQ_GATES))]
+            qubit = int(rng.integers(num_qubits))
+            circuit.append(name, [qubit], [float(rng.uniform(0, 2 * np.pi)) for _ in range(num_params)])
+    return circuit
+
+
+def random_mixed_circuit(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+    *,
+    mid_measure_probability: float = 0.15,
+    reset_probability: float = 0.1,
+) -> Circuit:
+    """A random circuit with mid-circuit measurements/resets and terminal measures.
+
+    Gate slots follow :func:`random_unitary_circuit`; between them, qubits are
+    occasionally measured mid-circuit (into their own clbit) or reset.  Every
+    qubit is measured at the end, so the trajectory path is always exercised
+    with a full terminal block on top of any mid-circuit activity.
+    """
+    circuit = Circuit(num_qubits, num_qubits)
+    for _ in range(depth):
+        roll = rng.random()
+        if roll < mid_measure_probability:
+            qubit = int(rng.integers(num_qubits))
+            circuit.measure(qubit, qubit)
+            continue
+        if roll < mid_measure_probability + reset_probability:
+            circuit.reset(int(rng.integers(num_qubits)))
+            continue
+        unitary = random_unitary_circuit(rng, num_qubits, 1)
+        circuit.compose(unitary)
+    circuit.measure_all()
+    return circuit
+
+
+def total_variation_distance(
+    counts: Mapping[str, int], exact: Mapping[str, float]
+) -> float:
+    """TVD between an empirical histogram and an exact distribution."""
+    shots = sum(counts.values())
+    if shots == 0:
+        raise ValueError("empty counts")
+    keys = set(counts) | set(exact)
+    return 0.5 * sum(
+        abs(counts.get(key, 0) / shots - exact.get(key, 0.0)) for key in keys
+    )
+
+
+def chi_square_statistic(
+    counts: Mapping[str, int], exact: Mapping[str, float], *, floor: float = 1e-12
+) -> float:
+    """Pearson chi-square of an empirical histogram against exact probabilities.
+
+    Outcomes with exact probability below *floor* are pooled into a single
+    tail cell so near-impossible outcomes cannot blow up the statistic.
+    """
+    shots = sum(counts.values())
+    if shots == 0:
+        raise ValueError("empty counts")
+    statistic = 0.0
+    tail_observed = 0
+    tail_expected = 0.0
+    for key in set(counts) | set(exact):
+        probability = exact.get(key, 0.0)
+        observed = counts.get(key, 0)
+        if probability < floor:
+            tail_observed += observed
+            tail_expected += probability * shots
+            continue
+        expected = probability * shots
+        statistic += (observed - expected) ** 2 / expected
+    if tail_observed or tail_expected > floor:
+        statistic += (tail_observed - tail_expected) ** 2 / max(tail_expected, floor)
+    return statistic
+
+
+def counts_distribution(counts: Mapping[str, int]) -> Dict[str, float]:
+    """Empirical probabilities of a counts histogram."""
+    shots = sum(counts.values())
+    return {key: value / shots for key, value in counts.items()} if shots else {}

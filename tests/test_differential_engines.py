@@ -1,0 +1,178 @@
+"""Differential validation of the trajectory engines against the density oracle.
+
+Random circuits x noise levels x seeds: the batched and reference trajectory
+engines' empirical histograms must match the density-matrix engine's exact
+outcome distribution within total-variation tolerance, and each engine must be
+bit-exactly reproducible under a fixed seed.  The quick lane runs a curated
+subset on every pytest invocation; the full sweep is marked ``slow``
+(deselect with ``-m "not slow"``).
+
+Tolerance note: for a distribution over k outcomes sampled N times the
+expected TVD scales like ``sqrt(k / (2 pi N))``; every bound below sits at
+several times that, and all seeds are fixed, so the checks are deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulators.gate import (
+    Circuit,
+    DensityMatrixSimulator,
+    NoiseModel,
+    StatevectorSimulator,
+)
+
+from engine_testlib import (
+    chi_square_statistic,
+    random_mixed_circuit,
+    random_unitary_circuit,
+    total_variation_distance,
+)
+
+SHOTS = 2048  # the ISSUE's acceptance floor for the differential suite
+
+
+def exact_distribution(circuit, noise=None):
+    return DensityMatrixSimulator(noise_model=noise).probabilities(circuit)
+
+
+def engine_counts(circuit, noise, engine, shots=SHOTS, seed=7, **kwargs):
+    simulator = StatevectorSimulator(noise_model=noise, trajectory_engine=engine, **kwargs)
+    return simulator.run(circuit, shots=shots, seed=seed).counts
+
+
+def tvd_bound(distribution, shots, factor=5.0):
+    """A deterministic-seed-friendly TVD bound: factor x the sqrt(k/2piN) scale."""
+    k = max(len(distribution), 2)
+    return factor * np.sqrt(k / (2 * np.pi * shots))
+
+
+# -- quick lane ---------------------------------------------------------------------
+
+
+def test_batched_matches_oracle_noisy_bell():
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1).measure_all()
+    noise = NoiseModel(oneq_error=0.05, twoq_error=0.1, readout_error=0.02)
+    exact = exact_distribution(circuit, noise)
+    counts = engine_counts(circuit, noise, "batched")
+    assert total_variation_distance(counts, exact) < tvd_bound(exact, SHOTS)
+
+
+def test_reference_matches_oracle_noisy_bell():
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1).measure_all()
+    noise = NoiseModel(oneq_error=0.05, twoq_error=0.1, readout_error=0.02)
+    exact = exact_distribution(circuit, noise)
+    counts = engine_counts(circuit, noise, "reference", shots=512)
+    assert total_variation_distance(counts, exact) < tvd_bound(exact, 512)
+
+
+def test_batched_matches_oracle_mid_circuit_and_reset():
+    rng = np.random.default_rng(21)
+    circuit = random_mixed_circuit(rng, 3, 12)
+    noise = NoiseModel(oneq_error=0.02, twoq_error=0.05)
+    exact = exact_distribution(circuit, noise)
+    counts = engine_counts(circuit, noise, "batched")
+    assert total_variation_distance(counts, exact) < tvd_bound(exact, SHOTS)
+
+
+def test_exact_path_matches_oracle_closed_form():
+    # The noiseless terminal-measurement path and the density oracle must agree
+    # to float precision, not just statistically.
+    rng = np.random.default_rng(3)
+    circuit = random_unitary_circuit(rng, 3, 15)
+    circuit.measure_all()
+    from repro.simulators.gate import Statevector
+
+    unitary_part = Circuit(3, 3)
+    for inst in circuit.instructions:
+        if inst.name != "measure":
+            unitary_part.append(inst.name, inst.qubits, inst.params)
+    state = Statevector(3).evolve(unitary_part)
+    exact = exact_distribution(circuit)
+    for key, probability in state.probability_dict().items():
+        assert exact.get(key, 0.0) == pytest.approx(probability, abs=1e-12)
+
+
+def test_engines_are_seed_deterministic():
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1).measure_all()
+    noise = NoiseModel(oneq_error=0.05, readout_error=0.02)
+    for engine in ("batched", "reference", "density"):
+        first = engine_counts(circuit, noise, engine, shots=256, seed=11)
+        second = engine_counts(circuit, noise, engine, shots=256, seed=11)
+        assert dict(first) == dict(second), engine
+
+
+def test_batched_seed_determinism_is_worker_invariant():
+    rng = np.random.default_rng(9)
+    circuit = random_mixed_circuit(rng, 3, 10)
+    noise = NoiseModel(oneq_error=0.03, twoq_error=0.06)
+    serial = engine_counts(
+        circuit, noise, "batched", shots=1024, seed=5, max_batch_memory=4096
+    )
+    threaded = engine_counts(
+        circuit,
+        noise,
+        "batched",
+        shots=1024,
+        seed=5,
+        max_batch_memory=4096,
+        trajectory_workers=4,
+    )
+    assert dict(serial) == dict(threaded)
+
+
+# -- full sweep (slow lane) ---------------------------------------------------------
+
+
+SWEEP_NOISE = (
+    None,
+    NoiseModel(oneq_error=0.02, twoq_error=0.04),
+    NoiseModel(oneq_error=0.08, twoq_error=0.12, readout_error=0.03),
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("num_qubits", [2, 3, 4])
+@pytest.mark.parametrize("noise_index", range(len(SWEEP_NOISE)))
+@pytest.mark.parametrize("circuit_seed", [0, 1, 2])
+def test_differential_sweep_unitary_circuits(num_qubits, noise_index, circuit_seed):
+    noise = SWEEP_NOISE[noise_index]
+    rng = np.random.default_rng(1000 * num_qubits + 10 * noise_index + circuit_seed)
+    circuit = random_unitary_circuit(rng, num_qubits, 6 * num_qubits)
+    circuit.measure_all()
+    exact = exact_distribution(circuit, noise)
+    counts = engine_counts(circuit, noise, "batched", seed=circuit_seed)
+    assert total_variation_distance(counts, exact) < tvd_bound(exact, SHOTS)
+    # Chi-square as a second lens: dof ~ #outcomes; 5x dof is far beyond any
+    # plausible statistical fluctuation yet catches gross distribution bugs.
+    assert chi_square_statistic(counts, exact) < 5 * max(len(exact), 4) + 30
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("num_qubits", [2, 3])
+@pytest.mark.parametrize("circuit_seed", [0, 1, 2])
+def test_differential_sweep_mixed_circuits(num_qubits, circuit_seed):
+    noise = NoiseModel(oneq_error=0.03, twoq_error=0.06, readout_error=0.02)
+    rng = np.random.default_rng(500 + 10 * num_qubits + circuit_seed)
+    circuit = random_mixed_circuit(rng, num_qubits, 5 * num_qubits)
+    exact = exact_distribution(circuit, noise)
+    for engine, shots in (("batched", SHOTS), ("reference", 768)):
+        counts = engine_counts(circuit, noise, engine, shots=shots, seed=circuit_seed)
+        assert total_variation_distance(counts, exact) < tvd_bound(exact, shots), engine
+
+
+@pytest.mark.slow
+def test_deterministic_density_sampling_tracks_exact_distribution():
+    rng = np.random.default_rng(77)
+    circuit = random_unitary_circuit(rng, 3, 18)
+    circuit.measure_all()
+    noise = NoiseModel(oneq_error=0.05, twoq_error=0.08)
+    exact = exact_distribution(circuit, noise)
+    counts = engine_counts(
+        circuit, noise, "density", shots=100_000, density_sampling="deterministic"
+    )
+    # Largest-remainder apportionment is within 1 count of p*shots per key.
+    assert total_variation_distance(counts, exact) < len(exact) / 100_000

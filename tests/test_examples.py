@@ -46,6 +46,13 @@ def test_distributed_partitioning_example(capsys):
     assert "predicted makespan" in output
 
 
+def test_density_oracle_example(capsys):
+    run_example("density_oracle.py")
+    output = capsys.readouterr().out
+    assert "Exact noisy GHZ distribution" in output
+    assert "Oracle and trajectory engines agree within sampling tolerance: True" in output
+
+
 def test_maxcut_portability_example(tmp_path, capsys):
     run_example("maxcut_portability.py", argv=[str(tmp_path / "artifacts")])
     output = capsys.readouterr().out
