@@ -111,6 +111,19 @@ class GateBackend(Backend):
             engine.  Seeded results are bit-identical for every value; the
             effective parallelism is capped by the number of chunks
             ``max_batch_memory`` produces.
+        ``pin_blas_threads`` (bool, default ``True``)
+            Cap the host BLAS/OpenMP pools at ``cores // workers`` threads
+            while the ``trajectory_workers`` pool is active, preventing the
+            ``workers x cores`` oversubscription that would otherwise erase
+            the parallel speedup.  Best-effort without ``threadpoolctl``
+            (see :mod:`~repro.simulators.gate.threads`).
+        ``variational_evaluation`` (``"sampled"`` | ``"expectation"``,
+            default ``"sampled"``)
+            Consumed by :mod:`repro.workflows.qaoa_optimizer`, not by this
+            backend: ``"expectation"`` replaces per-evaluation histogram
+            sampling with exact observable expectations (and batched
+            parameter-grid sweeps) in the variational outer loop.  Listed
+            here because it rides in the same exec-policy options mapping.
         """
         self.check_capabilities(bundle)
         context = bundle.context or ContextDescriptor(exec=ExecPolicy(engine=self.engines[0]))
@@ -139,6 +152,9 @@ class GateBackend(Backend):
                 trajectory_workers=exec_policy.options.get("trajectory_workers", 1),
                 density_sampling=str(
                     exec_policy.options.get("density_sampling", "multinomial")
+                ),
+                pin_blas_threads=bool(
+                    exec_policy.options.get("pin_blas_threads", True)
                 ),
             )
             simulation = simulator.run(

@@ -25,6 +25,7 @@ __all__ = [
     "ising_problem_from_graph",
     "qubo_problem_operator",
     "edges_to_dense_j",
+    "ising_cost_observable",
 ]
 
 Edge = Tuple[int, int]
@@ -45,6 +46,50 @@ def edges_to_dense_j(
         a, b = (i, j) if i < j else (j, i)
         J[a, b] += float(w)
     return J.tolist()
+
+
+def ising_cost_observable(
+    width: int,
+    *,
+    edges: Sequence[Edge],
+    weights: Optional[Sequence[float]] = None,
+    h: Optional[Sequence[float]] = None,
+) -> Dict[str, float]:
+    """The Ising energy as a Pauli-string observable mapping.
+
+    Returns ``{pauli_string: coefficient}`` for
+    ``H = sum_i h_i Z_i + sum_{(i,j)} w_ij Z_i Z_j`` with character ``i`` of
+    each string acting on qubit ``i`` — exactly the observable format
+    :meth:`Statevector.expectation
+    <repro.simulators.gate.statevector.Statevector.expectation>` and
+    :meth:`DensityMatrixSimulator.expectation
+    <repro.simulators.gate.density.DensityMatrixSimulator.expectation>`
+    accept.  This is the shot-free counterpart of the ``ISING_COST_PHASE``
+    layer: the variational fast path evaluates a QAOA energy as an exact
+    expectation of this observable instead of estimating it from sampled
+    counts.  Duplicate edges accumulate; an empty problem yields the
+    all-identity string with coefficient zero.
+    """
+    edge_list = [(int(i), int(j)) for i, j in edges]
+    weight_list = [1.0] * len(edge_list) if weights is None else [float(w) for w in weights]
+    if len(weight_list) != len(edge_list):
+        raise DescriptorError("weights must match edges one-to-one")
+    h_list = [0.0] * width if h is None else [float(x) for x in h]
+    if len(h_list) != width:
+        raise DescriptorError(f"|h| = {len(h_list)} does not match width {width}")
+    terms: Dict[str, float] = {}
+    for (i, j), w in zip(edge_list, weight_list):
+        if i == j or not (0 <= i < width and 0 <= j < width):
+            raise DescriptorError(f"edge ({i}, {j}) invalid for width {width}")
+        key = "".join("Z" if q in (i, j) else "I" for q in range(width))
+        terms[key] = terms.get(key, 0.0) + w
+    for i, bias in enumerate(h_list):
+        if bias != 0.0:
+            key = "".join("Z" if q == i else "I" for q in range(width))
+            terms[key] = terms.get(key, 0.0) + bias
+    if not terms:
+        terms["I" * width] = 0.0
+    return terms
 
 
 def ising_problem_operator(

@@ -8,8 +8,16 @@ from .density import (
     DensityMatrixSimulator,
     pauli_terms,
 )
+from .fusion import (
+    TrajectoryProgram,
+    compile_trajectory_program,
+    compile_trajectory_program_cached,
+    parametric_cache_clear,
+    parametric_cache_info,
+)
 from .gates import GateDef, cached_gate_matrix, gate_matrix, get_gate, has_gate, list_gates
 from .noise import NoiseModel
+from .threads import limit_blas_threads
 from .statevector import (
     DEFAULT_MAX_BATCH_MEMORY,
     SimulationResult,
@@ -36,6 +44,12 @@ __all__ = [
     "has_gate",
     "list_gates",
     "NoiseModel",
+    "TrajectoryProgram",
+    "compile_trajectory_program",
+    "compile_trajectory_program_cached",
+    "parametric_cache_clear",
+    "parametric_cache_info",
+    "limit_blas_threads",
     "Statevector",
     "StatevectorSimulator",
     "SimulationResult",

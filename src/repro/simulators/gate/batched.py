@@ -41,7 +41,7 @@ import numpy as np
 
 from ...core.errors import SimulationError
 from .gates import cached_gate_matrix, cached_gate_plan
-from .kernels import MatrixPlan, apply_plan_inplace, build_plan
+from .kernels import MatrixPlan, apply_diagonal_columns, apply_plan_inplace, build_plan
 from .statevector import MAX_SIMULATED_QUBITS, Statevector
 
 __all__ = ["BatchedStatevector"]
@@ -154,6 +154,134 @@ class BatchedStatevector:
         out = self._scratch.reshape(outer, 4, inner)
         np.matmul(matrix.astype(self.dtype, copy=False), view, out=out)
         self._tensor, self._scratch = self._scratch, self._tensor
+
+    # -- parameter-sweep (per-column) operations --------------------------------
+    def fill_uniform(self) -> "BatchedStatevector":
+        """Set every trajectory to the uniform superposition ``|+>^n``.
+
+        One assignment instead of ``n`` Hadamard traversals — the state-
+        preparation step of a batched variational sweep, where every column
+        starts from the same ``PREP_UNIFORM`` state.
+        """
+        self._tensor[...] = self.dim ** -0.5
+        return self
+
+    def apply_diagonal_columns(
+        self, diag: np.ndarray, qubits: Sequence[int]
+    ) -> "BatchedStatevector":
+        """Apply a **per-column** diagonal gate to the given qubits.
+
+        *diag* has shape ``(2**m, batch)``: column ``c`` is the diagonal of
+        the gate applied to trajectory ``c`` (bit ``p`` of the row index
+        addresses ``qubits[p]``, first = MSB).  This is how a parameter-grid
+        sweep evolves a *different* ``rz``/``rzz`` angle on every column in
+        one broadcast multiply; for column-independent diagonals use
+        :meth:`apply_matrix` with a diagonal plan instead.
+        """
+        qubits = [int(q) for q in qubits]
+        m = len(qubits)
+        diag = np.asarray(diag, dtype=self.dtype)
+        if diag.shape != (1 << m, self.batch_size):
+            raise SimulationError(
+                f"column diagonal shape {diag.shape} does not match "
+                f"({1 << m}, {self.batch_size})"
+            )
+        if len(set(qubits)) != m:
+            raise SimulationError(f"duplicate qubits in {tuple(qubits)}")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise SimulationError(f"qubit {q} out of range")
+        apply_diagonal_columns(self._tensor, diag, qubits)
+        return self
+
+    def apply_1q_columns(self, matrices: np.ndarray, qubit: int) -> "BatchedStatevector":
+        """Apply a **per-column** dense 2x2 gate to *qubit*.
+
+        *matrices* has shape ``(2, 2, batch)``: slice ``[:, :, c]`` is the
+        gate applied to trajectory ``c``.  Used by parameter sweeps for
+        non-diagonal rotations (an ``rx`` mixer with a different angle per
+        column).  Implemented as broadcast elementwise multiplies/adds —
+        never a GEMM — so results are bit-identical for every chunking of
+        the batch axis (BLAS kernels may round differently per shape;
+        elementwise IEEE arithmetic cannot).
+        """
+        if not 0 <= qubit < self.num_qubits:
+            raise SimulationError(f"qubit {qubit} out of range")
+        matrices = np.asarray(matrices, dtype=self.dtype)
+        if matrices.shape != (2, 2, self.batch_size):
+            raise SimulationError(
+                f"column matrices shape {matrices.shape} does not match "
+                f"(2, 2, {self.batch_size})"
+            )
+        view = self._split_view(qubit)
+        v0, v1 = view[:, 0], view[:, 1]
+        new0 = matrices[0, 0] * v0 + matrices[0, 1] * v1
+        new1 = matrices[1, 0] * v0 + matrices[1, 1] * v1
+        view[:, 0] = new0
+        view[:, 1] = new1
+        return self
+
+    @staticmethod
+    def _marginal_columns(probs: np.ndarray, axes: Sequence[int]) -> np.ndarray:
+        """Sum the given axes out of *probs* one axis at a time.
+
+        A fused multi-axis reduction lets NumPy pick an addition pairing
+        that varies with the trailing batch extent (a 1-ulp wobble between
+        chunk sizes); reducing axis by axis keeps every addition a
+        sequential slice-add whose order is independent of the batch width,
+        so per-column marginals are bit-identical under any chunking.
+        """
+        for axis in sorted(axes, reverse=True):
+            probs = probs.sum(axis=axis, dtype=np.float64)
+        return probs
+
+    def probabilities_columns(self) -> np.ndarray:
+        """Elementwise ``|amplitude|^2``, shape ``(2, ..., 2, batch)`` (a copy).
+
+        Callers evaluating many observables on one state (e.g. every edge of
+        an Ising energy) should compute this once and pass it to the
+        ``expectation_*_columns`` methods, instead of paying one full-tensor
+        traversal per term.
+        """
+        return np.abs(self._tensor) ** 2
+
+    def expectation_z_columns(
+        self, qubit: int, probs: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-trajectory ``<Z>`` on *qubit* as a float64 ``(batch,)`` array.
+
+        Pass a precomputed :meth:`probabilities_columns` tensor as *probs*
+        to share one traversal across many observable terms.
+        """
+        if not 0 <= qubit < self.num_qubits:
+            raise SimulationError(f"qubit {qubit} out of range")
+        if probs is None:
+            probs = self.probabilities_columns()
+        axes = tuple(a for a in range(self.num_qubits) if a != qubit)
+        marginal = self._marginal_columns(probs, axes)
+        return marginal[0] - marginal[1]
+
+    def expectation_zz_columns(
+        self, qubit_a: int, qubit_b: int, probs: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-trajectory ``<Z_a Z_b>`` as a float64 ``(batch,)`` array.
+
+        Pass a precomputed :meth:`probabilities_columns` tensor as *probs*
+        to share one traversal across many observable terms.
+        """
+        for q in (qubit_a, qubit_b):
+            if not 0 <= q < self.num_qubits:
+                raise SimulationError(f"qubit {q} out of range")
+        if qubit_a == qubit_b:
+            return np.ones(self.batch_size, dtype=np.float64)
+        if probs is None:
+            probs = self.probabilities_columns()
+        axes = tuple(
+            a for a in range(self.num_qubits) if a not in (qubit_a, qubit_b)
+        )
+        marginal = self._marginal_columns(probs, axes)
+        # Axes survive in ascending order; the ZZ sign pattern is symmetric.
+        return marginal[0, 0] + marginal[1, 1] - marginal[0, 1] - marginal[1, 0]
 
     # -- measurement / reset ----------------------------------------------------
     def _split_view(self, qubit: int) -> np.ndarray:

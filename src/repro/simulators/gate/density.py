@@ -54,7 +54,7 @@ from .fusion import (
     NoiseEvent,
     ResetStep,
     TrajectoryProgram,
-    compile_trajectory_program,
+    compile_trajectory_program_cached,
 )
 from .gates import cached_gate_matrix, cached_gate_plan
 from .kernels import MatrixPlan, apply_plan_inplace, build_plan, conjugate_plan
@@ -335,7 +335,7 @@ class DensityMatrix:
                 )
         if noise_model is not None and noise_model.is_noiseless:
             noise_model = None
-        program = compile_trajectory_program(circuit, noise_model)
+        program = compile_trajectory_program_cached(circuit, noise_model)
         for step in program.steps:
             # Unitary-only circuits compile to GateStep exclusively.
             _apply_unitary(self._tensor, step.plan, step.qubits, self.num_qubits)
@@ -544,7 +544,7 @@ class DensityMatrixSimulator:
         noise = self.noise_model
         if noise is not None and noise.is_noiseless:
             noise = None
-        return compile_trajectory_program(circuit, noise), noise
+        return compile_trajectory_program_cached(circuit, noise), noise
 
     def _evolve(
         self, program: TrajectoryProgram, noise: Optional[NoiseModel]

@@ -1,4 +1,4 @@
-"""Trajectory program compilation: gate fusion and terminal-measurement analysis.
+"""Trajectory program compilation: gate fusion, parametric templates, caching.
 
 The batched trajectory engine is memory-bandwidth bound — every gate costs at
 least one full traversal of the ``shots x 2^n`` state.  This module compiles
@@ -14,19 +14,49 @@ sampled distribution:
 * **2q absorption** — pending 1q runs are multiplied into a following
   non-diagonal two-qubit gate on *adjacent* qubits (``G2 (U_a ⊗ U_b)``),
   which the batched engine applies as a single contiguous-reshape GEMM.
+* **same-pair 2q fusion** — consecutive two-qubit gates acting on the same
+  qubit pair (in either order; SWAP-conjugated when reversed) collapse into
+  one 4x4 product, so an ``rzz–cx`` cost-layer pair or a routed
+  ``cx–cx–cx`` SWAP chain costs one traversal instead of two or three.
 * **noise pushing** — with a depolarizing model active, the reference engine
   inserts an independent Pauli-error opportunity after *every* gate.  Fusion
   preserves that channel exactly: an error ``P`` striking after sub-gate
-  ``u_i`` of a run ``u_k ... u_1`` is algebraically pushed past the rest of
-  the fused block, ``P -> R P R^dagger`` with ``R`` the product of the
-  sub-gates applied after ``u_i``, and applied as a small *subset* operation
-  to only the struck shots.
+  ``u_i`` of a fused block is algebraically pushed past the rest of the
+  block, ``P -> R P R^dagger`` with ``R`` the product of the sub-gates
+  applied after ``u_i``, and applied as a small *subset* operation to only
+  the struck shots.  Same-pair fusion pushes the earlier gate's (already
+  conjugated) events through the later gate the same way.
 * **terminal-measurement batching** — the trailing measurements (those whose
   qubit is never touched afterwards) commute with everything after them, so
   they are sampled *jointly* from the final per-shot distribution in one
   cumulative pass instead of one collapse per qubit.  Circuits with no
   measurements at all get the documented implicit terminal measurement over
   every qubit through the same mechanism.
+
+Parametric compilation
+----------------------
+Variational workloads (QAOA optimisation, parameter-grid sweeps) execute the
+*same circuit structure* hundreds of times with different rotation angles.
+For noiseless circuits the compiler is therefore split into two phases:
+
+* :func:`compile_parametric_template` performs the **structural** phase —
+  which gates fuse into which step, absorption and same-pair decisions,
+  terminal-measurement peeling — and records each fused step as a *recipe*
+  over instruction indices instead of concrete matrices.  The phase depends
+  only on the circuit's structure (names, qubits, clbits), never on the
+  parameter values.
+* :meth:`ParametricTemplate.bind` performs the **numeric** phase — it reads
+  the concrete parameter values out of a structurally identical circuit and
+  multiplies the (small, cached) gate matrices into the fused step matrices.
+
+:func:`compile_trajectory_program_cached` memoises the structural phase in a
+module-level LRU keyed on circuit structure, so a variational loop pays for
+fusion analysis once per optimisation instead of once per evaluation.  The
+noiseless :func:`compile_trajectory_program` is itself implemented as
+``template + bind``, so the cached and uncached paths produce **bit-identical
+programs by construction**.  Noisy compilation (whose pushed error events
+depend on the concrete matrices) always takes the full path and bypasses the
+cache.
 
 The compiled program is engine-agnostic data; execution lives in
 :class:`~repro.simulators.gate.statevector.StatevectorSimulator`.  The same
@@ -40,12 +70,14 @@ executed by many shot chunks concurrently (``trajectory_workers``).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .circuit import Circuit
+from .circuit import Circuit, Instruction
 from .gates import cached_gate_matrix, cached_gate_plan
 from .kernels import MatrixPlan, build_plan
 from .noise import NoiseModel
@@ -57,7 +89,13 @@ __all__ = [
     "ResetStep",
     "TerminalSample",
     "TrajectoryProgram",
+    "StepRecipe",
+    "ParametricTemplate",
+    "compile_parametric_template",
     "compile_trajectory_program",
+    "compile_trajectory_program_cached",
+    "parametric_cache_info",
+    "parametric_cache_clear",
 ]
 
 _PAULI_NAMES = ("x", "y", "z")
@@ -197,6 +235,380 @@ def _absorbed_events(
     return out
 
 
+def _pushed_pair_events(
+    events: Tuple[NoiseEvent, ...], gate: np.ndarray, qubits: Tuple[int, int]
+) -> List[NoiseEvent]:
+    """Push an earlier same-pair step's events through the following 4x4 *gate*.
+
+    *gate* is expressed in the *qubits* orientation (first qubit = MSB).  Each
+    event operator is embedded into the pair's 4x4 space — ``kron`` for
+    single-qubit operators, a SWAP conjugation for operators recorded in the
+    opposite qubit order — and conjugated, ``E -> G E G†``, which is exact:
+    ``G E rho E† G† = (G E G†) (G rho G†) (G E G†)†``.
+    """
+    swap = cached_gate_matrix("swap")
+    gate_dag = gate.conj().T
+    out: List[NoiseEvent] = []
+    for event in events:
+        operators = []
+        for matrix, _ in event.operators:
+            if event.qubits == qubits:
+                embedded = matrix
+            elif event.qubits == (qubits[1], qubits[0]):
+                embedded = swap @ matrix @ swap
+            elif event.qubits == (qubits[0],):
+                embedded = np.kron(matrix, _ID2)
+            elif event.qubits == (qubits[1],):
+                embedded = np.kron(_ID2, matrix)
+            else:  # pragma: no cover - compiler invariant
+                raise ValueError(
+                    f"cannot push event on {event.qubits} through pair {qubits}"
+                )
+            operators.append(_planned(gate @ embedded @ gate_dag))
+        out.append(NoiseEvent(qubits, event.rate, tuple(operators)))
+    return out
+
+
+# -- parametric templates -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _GateFactor:
+    """One source instruction's matrix (SWAP-conjugated when *swapped*)."""
+
+    index: int
+    swapped: bool = False
+
+
+@dataclass(frozen=True)
+class _KronFactor:
+    """``kron(product(run_a), product(run_b))`` of two absorbed 1q runs.
+
+    ``run_a`` / ``run_b`` are effective-instruction indices in application
+    order; an empty run contributes the 2x2 identity.
+    """
+
+    run_a: Tuple[int, ...]
+    run_b: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StepRecipe:
+    """How to rebuild one fused :class:`GateStep` from concrete parameters.
+
+    ``factors`` are applied in sequence — the step matrix is
+    ``F_k @ ... @ F_1`` — and reference the circuit's *effective*
+    (barrier-free) instruction list by index, so a structurally identical
+    circuit with different rotation angles can be re-bound without re-running
+    the fusion analysis.
+    """
+
+    qubits: Tuple[int, ...]
+    factors: Tuple[object, ...]
+
+
+@dataclass
+class ParametricTemplate:
+    """Structural compilation of one circuit shape, reusable across bindings.
+
+    Produced by :func:`compile_parametric_template`; every entry of
+    ``recipes`` is a :class:`StepRecipe`, :class:`MeasureStep` or
+    :class:`ResetStep`.  Templates are immutable after construction and safe
+    to bind from multiple threads.
+    """
+
+    num_qubits: int
+    num_clbits: int
+    recipes: List[object]
+    terminal: Optional[TerminalSample]
+
+    def bind(self, circuit: Circuit) -> TrajectoryProgram:
+        """Produce the concrete :class:`TrajectoryProgram` for *circuit*.
+
+        *circuit* must be structurally identical to the template's source
+        (same gate names, qubits and clbits instruction by instruction,
+        barriers excluded); only its parameter values are read.  Binding the
+        source circuit itself reproduces the uncached compilation bit for
+        bit.
+        """
+        instructions = _effective_instructions(circuit)
+        steps: List[object] = []
+        for recipe in self.recipes:
+            if isinstance(recipe, StepRecipe):
+                steps.append(_bind_step(recipe, instructions))
+            else:
+                steps.append(recipe)
+        program = TrajectoryProgram(self.num_qubits, self.num_clbits, steps)
+        program.terminal = self.terminal
+        return program
+
+
+def _effective_instructions(circuit: Circuit) -> List[Instruction]:
+    """The circuit's instruction list with barriers dropped."""
+    return [inst for inst in circuit.instructions if inst.name != "barrier"]
+
+
+def _factor_matrix(factor: object, instructions: List[Instruction]) -> np.ndarray:
+    """Evaluate one recipe factor against concrete instruction parameters."""
+    if isinstance(factor, _KronFactor):
+        run_a = (
+            _run_product([_matrix128(instructions[k]) for k in factor.run_a])
+            if factor.run_a
+            else _ID2
+        )
+        run_b = (
+            _run_product([_matrix128(instructions[k]) for k in factor.run_b])
+            if factor.run_b
+            else _ID2
+        )
+        return np.kron(run_a, run_b)
+    inst = instructions[factor.index]
+    matrix = cached_gate_matrix(inst.name, inst.params)
+    if factor.swapped:
+        swap = cached_gate_matrix("swap")
+        matrix = swap @ matrix @ swap
+    return matrix
+
+
+def _matrix128(inst: Instruction) -> np.ndarray:
+    return np.asarray(cached_gate_matrix(inst.name, inst.params), dtype=np.complex128)
+
+
+def _bind_step(recipe: StepRecipe, instructions: List[Instruction]) -> GateStep:
+    """Materialise one :class:`GateStep` from a recipe and concrete params."""
+    factors = recipe.factors
+    first = factors[0]
+    if len(factors) == 1 and isinstance(first, _GateFactor) and not first.swapped:
+        inst = instructions[first.index]
+        if len(inst.qubits) == len(recipe.qubits):
+            # A standalone library gate: serve the shared cached matrix and
+            # its memoised structure plan directly.
+            return GateStep(
+                cached_gate_matrix(inst.name, inst.params),
+                recipe.qubits,
+                cached_gate_plan(inst.name, inst.params),
+            )
+    matrix = np.asarray(_factor_matrix(first, instructions), dtype=np.complex128)
+    for factor in factors[1:]:
+        matrix = _factor_matrix(factor, instructions) @ matrix
+    return GateStep(matrix, recipe.qubits, build_plan(matrix))
+
+
+def compile_parametric_template(circuit: Circuit) -> ParametricTemplate:
+    """Run the structural (parameter-independent) compilation phase.
+
+    Performs the full fusion analysis of :func:`compile_trajectory_program`
+    for the **noiseless** case — 1q-run fusion, 2q absorption, same-pair 2q
+    fusion, terminal-measurement peeling — but records each fused step as a
+    :class:`StepRecipe` over instruction indices instead of a concrete
+    matrix, so the result can be re-bound to any structurally identical
+    circuit via :meth:`ParametricTemplate.bind`.
+
+    The one parameter-dependent structural input is a two-qubit gate's
+    diagonality (the 2q-absorption guard), which is evaluated at this
+    circuit's parameter values; rotation families (``rzz``, ``crz``, ...)
+    keep their diagonality for every angle, so generic variational circuits
+    re-bind exactly.  Re-binding remains *correct* even when a degenerate
+    angle (e.g. ``crx(0)``) would have changed the decision — only the
+    chosen decomposition, never the product, depends on it.
+    """
+    instructions = _effective_instructions(circuit)
+    recipes: List[object] = []
+    pending: Dict[int, List[int]] = {}
+
+    def flush(qubit: int) -> None:
+        run = pending.pop(qubit, None)
+        if run:
+            recipes.append(
+                StepRecipe((qubit,), tuple(_GateFactor(k) for k in run))
+            )
+
+    def append_gate(recipe: StepRecipe) -> None:
+        """Append a gate recipe, fusing into a trailing same-pair 2q recipe."""
+        if len(recipe.qubits) == 2 and recipes:
+            prev = recipes[-1]
+            if (
+                isinstance(prev, StepRecipe)
+                and len(prev.qubits) == 2
+                and set(prev.qubits) == set(recipe.qubits)
+            ):
+                if recipe.qubits == prev.qubits:
+                    extra = recipe.factors
+                else:
+                    extra = tuple(_swapped_factor(f) for f in recipe.factors)
+                recipes[-1] = StepRecipe(prev.qubits, prev.factors + extra)
+                return
+        recipes.append(recipe)
+
+    for index, inst in enumerate(instructions):
+        if inst.name == "measure":
+            flush(inst.qubits[0])
+            recipes.append(MeasureStep(inst.qubits[0], inst.clbits[0]))
+            continue
+        if inst.name == "reset":
+            flush(inst.qubits[0])
+            recipes.append(ResetStep(inst.qubits[0]))
+            continue
+        if inst.num_qubits == 1:
+            pending.setdefault(inst.qubits[0], []).append(index)
+            continue
+
+        gate_plan = cached_gate_plan(inst.name, inst.params)
+        qa, qb = (inst.qubits[0], inst.qubits[1]) if inst.num_qubits == 2 else (-1, -1)
+        absorb = (
+            inst.num_qubits == 2
+            and abs(qa - qb) == 1
+            and not gate_plan.is_diagonal
+            and (qa in pending or qb in pending)
+        )
+        if absorb:
+            run_a = tuple(pending.pop(qa, ()))
+            run_b = tuple(pending.pop(qb, ()))
+            append_gate(
+                StepRecipe((qa, qb), (_KronFactor(run_a, run_b), _GateFactor(index)))
+            )
+            continue
+
+        for qubit in inst.qubits:
+            flush(qubit)
+        append_gate(StepRecipe(inst.qubits, (_GateFactor(index),)))
+    for qubit in sorted(pending):
+        flush(qubit)
+
+    recipes, terminal = _peel_terminal(recipes, circuit)
+    return ParametricTemplate(circuit.num_qubits, circuit.num_clbits, recipes, terminal)
+
+
+def _swapped_factor(factor: object) -> object:
+    """The factor conjugated by SWAP (reversing its qubit-pair orientation)."""
+    if isinstance(factor, _KronFactor):
+        # SWAP (A ⊗ B) SWAP = B ⊗ A: swap the runs instead of the matrix.
+        return _KronFactor(factor.run_b, factor.run_a)
+    return _GateFactor(factor.index, not factor.swapped)
+
+
+def _peel_terminal(
+    steps: List[object], circuit: Circuit
+) -> Tuple[List[object], Optional[TerminalSample]]:
+    """Peel trailing measurements that can be sampled jointly at the end.
+
+    A measurement whose qubit is never touched afterwards commutes past
+    everything behind it.  A measurement whose classical bit is rewritten by
+    a *later* kept measurement must not be peeled either — sampling it at
+    the end would invert the program's last-write-wins ordering on that
+    clbit.  Works on both :class:`GateStep` streams and recipe streams.
+    """
+    touched: set = set()
+    kept_clbits: set = set()
+    terminal_positions: List[int] = []
+    for position in range(len(steps) - 1, -1, -1):
+        step = steps[position]
+        if (
+            isinstance(step, MeasureStep)
+            and step.qubit not in touched
+            and step.clbit not in kept_clbits
+        ):
+            terminal_positions.append(position)
+            continue
+        if isinstance(step, (GateStep, StepRecipe)):
+            touched.update(step.qubits)
+        elif isinstance(step, MeasureStep):
+            touched.add(step.qubit)
+            kept_clbits.add(step.clbit)
+        elif isinstance(step, ResetStep):
+            touched.add(step.qubit)
+    if terminal_positions:
+        terminal_positions.reverse()  # back to instruction order
+        pairs = tuple((steps[p].qubit, steps[p].clbit) for p in terminal_positions)
+        removed = set(terminal_positions)
+        kept = [step for p, step in enumerate(steps) if p not in removed]
+        return kept, TerminalSample(pairs)
+    if not circuit.has_measurements():
+        return steps, TerminalSample(
+            tuple((q, q) for q in range(circuit.num_qubits)), implicit=True
+        )
+    return steps, None
+
+
+# -- template cache ------------------------------------------------------------------
+
+_TEMPLATE_CACHE_MAXSIZE = 128
+_TEMPLATE_CACHE: "OrderedDict[tuple, ParametricTemplate]" = OrderedDict()
+_TEMPLATE_CACHE_LOCK = threading.Lock()
+_template_cache_hits = 0
+_template_cache_misses = 0
+
+
+def _structure_key(circuit: Circuit) -> tuple:
+    """Hashable key of the circuit's parameter-independent structure."""
+    return (
+        circuit.num_qubits,
+        circuit.num_clbits,
+        tuple(
+            (inst.name, inst.qubits, inst.clbits)
+            for inst in circuit.instructions
+            if inst.name != "barrier"
+        ),
+    )
+
+
+def compile_trajectory_program_cached(
+    circuit: Circuit, noise_model: Optional[NoiseModel] = None
+) -> TrajectoryProgram:
+    """Compile *circuit* through the structure-keyed parametric LRU cache.
+
+    Noiseless circuits whose structure (gate names, qubits, clbits — not
+    parameter values) was compiled before skip the fusion analysis and only
+    re-bind the fused matrices, so a variational loop pays the structural
+    phase once per optimisation.  Cached and uncached compilations produce
+    bit-identical programs (the uncached noiseless path is the same
+    ``template + bind``).  Circuits with an effective noise model fall back
+    to :func:`compile_trajectory_program` uncached, because pushed error
+    events bake concrete matrices into the program.
+    """
+    global _template_cache_hits, _template_cache_misses
+    if noise_model is not None and not noise_model.is_noiseless:
+        return compile_trajectory_program(circuit, noise_model)
+    key = _structure_key(circuit)
+    with _TEMPLATE_CACHE_LOCK:
+        template = _TEMPLATE_CACHE.get(key)
+        if template is not None:
+            _TEMPLATE_CACHE.move_to_end(key)
+            _template_cache_hits += 1
+    if template is None:
+        template = compile_parametric_template(circuit)
+        with _TEMPLATE_CACHE_LOCK:
+            _template_cache_misses += 1
+            _TEMPLATE_CACHE[key] = template
+            _TEMPLATE_CACHE.move_to_end(key)
+            while len(_TEMPLATE_CACHE) > _TEMPLATE_CACHE_MAXSIZE:
+                _TEMPLATE_CACHE.popitem(last=False)
+    return template.bind(circuit)
+
+
+def parametric_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the parametric template cache."""
+    with _TEMPLATE_CACHE_LOCK:
+        return {
+            "hits": _template_cache_hits,
+            "misses": _template_cache_misses,
+            "size": len(_TEMPLATE_CACHE),
+            "maxsize": _TEMPLATE_CACHE_MAXSIZE,
+        }
+
+
+def parametric_cache_clear() -> None:
+    """Empty the parametric template cache and reset its counters."""
+    global _template_cache_hits, _template_cache_misses
+    with _TEMPLATE_CACHE_LOCK:
+        _TEMPLATE_CACHE.clear()
+        _template_cache_hits = 0
+        _template_cache_misses = 0
+
+
+# -- full compilation ---------------------------------------------------------------
+
+
 def compile_trajectory_program(
     circuit: Circuit, noise_model: Optional[NoiseModel] = None
 ) -> TrajectoryProgram:
@@ -223,9 +635,18 @@ def compile_trajectory_program(
         :class:`TerminalSample` describing the jointly-sampled trailing
         measurements (implicit over all qubits for measurement-free
         circuits).  Safe to execute from multiple threads.
+
+    Notes
+    -----
+    The noiseless path is implemented as
+    ``compile_parametric_template(circuit).bind(circuit)``, so it and the
+    LRU-backed :func:`compile_trajectory_program_cached` produce identical
+    programs by construction.
     """
-    oneq_rate = noise_model.oneq_error if noise_model is not None else 0.0
-    twoq_rate = noise_model.twoq_error if noise_model is not None else 0.0
+    if noise_model is None or noise_model.is_noiseless:
+        return compile_parametric_template(circuit).bind(circuit)
+    oneq_rate = noise_model.oneq_error
+    twoq_rate = noise_model.twoq_error
 
     steps: List[object] = []
     pending: Dict[int, List[np.ndarray]] = {}
@@ -242,6 +663,34 @@ def compile_trajectory_program(
         if qubit in pending:
             product, events = take(qubit)
             steps.append(GateStep(product, (qubit,), build_plan(product), tuple(events)))
+
+    def append_gate(step: GateStep) -> None:
+        """Append a gate step, fusing into a trailing same-pair 2q step.
+
+        The earlier step's error events are pushed through the later gate
+        (``E -> G E G†``, exact), then the later gate's own events follow —
+        the same ordering the unfused channel produces.
+        """
+        if len(step.qubits) == 2 and steps:
+            prev = steps[-1]
+            if (
+                isinstance(prev, GateStep)
+                and len(prev.qubits) == 2
+                and set(prev.qubits) == set(step.qubits)
+            ):
+                if step.qubits == prev.qubits:
+                    gate = np.asarray(step.matrix, dtype=np.complex128)
+                else:
+                    swap = cached_gate_matrix("swap")
+                    gate = swap @ step.matrix @ swap
+                combined = gate @ prev.matrix
+                events = tuple(_pushed_pair_events(prev.noise, gate, prev.qubits))
+                events += step.noise
+                steps[-1] = GateStep(
+                    combined, prev.qubits, build_plan(combined), events
+                )
+                return
+        steps.append(step)
 
     for inst in circuit.instructions:
         name = inst.name
@@ -280,7 +729,7 @@ def compile_trajectory_program(
             events.extend(_absorbed_events(events_b, 1, gate_matrix_, (qa, qb)))
             if twoq_rate > 0.0:
                 events.extend(_pauli_event(q, twoq_rate) for q in (qa, qb))
-            steps.append(GateStep(fused, (qa, qb), build_plan(fused), tuple(events)))
+            append_gate(GateStep(fused, (qa, qb), build_plan(fused), tuple(events)))
             continue
 
         for qubit in inst.qubits:
@@ -288,44 +737,11 @@ def compile_trajectory_program(
         noise_events: Tuple[NoiseEvent, ...] = ()
         if twoq_rate > 0.0:
             noise_events = tuple(_pauli_event(q, twoq_rate) for q in inst.qubits)
-        steps.append(GateStep(gate_matrix_, inst.qubits, gate_plan, noise_events))
+        append_gate(GateStep(gate_matrix_, inst.qubits, gate_plan, noise_events))
     for qubit in sorted(pending):
         flush(qubit)
 
-    program = TrajectoryProgram(circuit.num_qubits, circuit.num_clbits, steps)
-
-    # Peel trailing measurements whose qubits are never touched afterwards:
-    # they commute past everything behind them and can be sampled jointly.
-    # A measurement whose classical bit is rewritten by a *later* kept
-    # measurement must not be peeled either — sampling it at the end would
-    # invert the program's last-write-wins ordering on that clbit.
-    touched: set = set()
-    kept_clbits: set = set()
-    terminal_positions: List[int] = []
-    for position in range(len(steps) - 1, -1, -1):
-        step = steps[position]
-        if (
-            isinstance(step, MeasureStep)
-            and step.qubit not in touched
-            and step.clbit not in kept_clbits
-        ):
-            terminal_positions.append(position)
-            continue
-        if isinstance(step, GateStep):
-            touched.update(step.qubits)
-        elif isinstance(step, MeasureStep):
-            touched.add(step.qubit)
-            kept_clbits.add(step.clbit)
-        elif isinstance(step, ResetStep):
-            touched.add(step.qubit)
-    if terminal_positions:
-        terminal_positions.reverse()  # back to instruction order
-        pairs = tuple((steps[p].qubit, steps[p].clbit) for p in terminal_positions)
-        removed = set(terminal_positions)
-        program.steps = [step for p, step in enumerate(steps) if p not in removed]
-        program.terminal = TerminalSample(pairs)
-    elif not circuit.has_measurements():
-        program.terminal = TerminalSample(
-            tuple((q, q) for q in range(circuit.num_qubits)), implicit=True
-        )
+    kept, terminal = _peel_terminal(steps, circuit)
+    program = TrajectoryProgram(circuit.num_qubits, circuit.num_clbits, kept)
+    program.terminal = terminal
     return program

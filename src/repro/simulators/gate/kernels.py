@@ -37,6 +37,7 @@ __all__ = [
     "conjugate_plan",
     "apply_plan_inplace",
     "apply_matrix_inplace",
+    "apply_diagonal_columns",
 ]
 
 
@@ -148,6 +149,34 @@ def apply_plan_inplace(tensor: np.ndarray, plan: MatrixPlan, axes: Sequence[int]
         updates.append((r, acc))
     for r, value in updates:
         tensor[_slice_index(tensor.ndim, axes, r)] = value
+
+
+def apply_diagonal_columns(
+    tensor: np.ndarray, diag: np.ndarray, axes: Sequence[int]
+) -> None:
+    """Multiply a **per-column** diagonal into the qubit *axes* of *tensor*.
+
+    *tensor* is a batch-last state tensor (``(2, ..., 2, batch)`` — the
+    :class:`~repro.simulators.gate.batched.BatchedStatevector` layout) and
+    *diag* holds one diagonal per column, shape ``(2**m, batch)`` with bit
+    ``p`` of the diagonal index addressing qubit ``axes[p]`` (first = MSB).
+    This is the kernel behind batched parameter sweeps: a parameterized
+    diagonal rotation (``rz``/``rzz``-style) with a *different angle per
+    column* costs exactly one broadcast multiply over the tensor, the same
+    as its fixed-angle counterpart.
+    """
+    m = len(axes)
+    batch = tensor.shape[-1]
+    diag = np.asarray(diag).reshape((2,) * m + (batch,))
+    # Bit p of the diagonal index is qubit axes[p]; numpy broadcasting needs
+    # the qubit axes in ascending order, so permute them (batch stays last).
+    order = sorted(range(m), key=lambda p: axes[p])
+    diag = diag.transpose(tuple(order) + (m,))
+    shape = [1] * tensor.ndim
+    for p in range(m):
+        shape[axes[order[p]]] = 2
+    shape[-1] = batch
+    tensor *= diag.reshape(shape)
 
 
 def apply_matrix_inplace(

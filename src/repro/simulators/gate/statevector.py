@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -285,9 +286,9 @@ class Statevector:
                     "use StatevectorSimulator.run for measurements"
                 )
         if fuse:
-            from .fusion import compile_trajectory_program  # local: import cycle
+            from .fusion import compile_trajectory_program_cached  # local: import cycle
 
-            program = compile_trajectory_program(circuit)
+            program = compile_trajectory_program_cached(circuit)
             for step in program.steps:
                 self.apply_matrix(step.matrix, step.qubits, plan=step.plan)
             return self
@@ -390,6 +391,17 @@ class StatevectorSimulator:
         single precision halves the traffic; ~1e-7 amplitude rounding is
         far below the sampling noise of any realistic shot count.  The
         reference engine and the exact path always use ``complex128``.
+    pin_blas_threads:
+        Cap the host BLAS/OpenMP pools at ``max(1, cores // workers)``
+        threads while the ``trajectory_workers`` thread pool is active
+        (default ``True``), keeping total runnable threads at about the
+        core count.  Without the cap, every worker's GEMMs spawn a full
+        BLAS team and the resulting ``workers x cores`` oversubscription
+        routinely makes the parallel configuration *slower* than serial.  Uses ``threadpoolctl``
+        when available, else the ``*_NUM_THREADS`` environment-variable
+        guard of :mod:`~repro.simulators.gate.threads` (best-effort).  Has
+        no effect on single-worker runs, and never changes sampled counts —
+        it only controls intra-GEMM parallelism.
     trajectory_workers:
         Number of threads executing the batched engine's shot chunks
         (``int >= 1``, or ``"auto"`` for the host CPU count; default ``1``).
@@ -416,6 +428,7 @@ class StatevectorSimulator:
         trajectory_dtype: str = "complex64",
         trajectory_workers: Union[int, str] = 1,
         density_sampling: str = "multinomial",
+        pin_blas_threads: bool = True,
     ):
         if trajectory_engine not in ("batched", "reference", "density"):
             raise SimulationError(
@@ -443,12 +456,17 @@ class StatevectorSimulator:
             )
         if trajectory_workers < 1:
             raise SimulationError("trajectory_workers must be >= 1")
+        if not isinstance(pin_blas_threads, bool):
+            raise SimulationError(
+                f"pin_blas_threads must be a bool, got {pin_blas_threads!r}"
+            )
         self.noise_model = noise_model
         self.max_batch_memory = max_batch_memory
         self.trajectory_engine = trajectory_engine
         self.trajectory_dtype = trajectory_dtype
         self.trajectory_workers = trajectory_workers
         self.density_sampling = density_sampling
+        self.pin_blas_threads = pin_blas_threads
 
     def run(
         self,
@@ -531,15 +549,30 @@ class StatevectorSimulator:
     def _run_exact(
         self, circuit: Circuit, shots: int, rng: np.random.Generator
     ) -> Tuple[Counts, Statevector, Dict[str, object]]:
+        """Evolve once through the fused program, then sample all shots.
+
+        The gates are compiled through the parametric template cache (the
+        circuit is noiseless here, and any gates appearing after a terminal
+        measurement act on *other* qubits and commute with it), so repeated
+        structurally identical circuits — a variational optimisation loop —
+        skip the fusion analysis and only re-bind the fused matrices.
+        """
+        from .fusion import compile_trajectory_program_cached  # local: import cycle
+
         state = Statevector(circuit.num_qubits)
         measure_map: Dict[int, int] = {}
+        gates_only = Circuit(circuit.num_qubits, name=circuit.name)
         for inst in circuit.instructions:
             if inst.name == "barrier":
                 continue
             if inst.name == "measure":
                 measure_map[inst.clbits[0]] = inst.qubits[0]
                 continue
-            state.apply_gate(inst.name, inst.qubits, inst.params)
+            gates_only.instructions.append(inst)
+        if gates_only.instructions:
+            program = compile_trajectory_program_cached(gates_only)
+            for step in program.steps:
+                state.apply_matrix(step.matrix, step.qubits, plan=step.plan)
 
         if shots == 0:
             return Counts({}), state, {"implicit_measurement": False}
@@ -595,7 +628,7 @@ class StatevectorSimulator:
         program data and gate caches are read-only at this point).
         """
         from .batched import BatchedStatevector  # local import: cycle with batched.py
-        from .fusion import compile_trajectory_program
+        from .fusion import compile_trajectory_program_cached
 
         extra: Dict[str, object] = {
             "trajectory_engine": "batched",
@@ -609,7 +642,7 @@ class StatevectorSimulator:
         noise = self.noise_model
         if noise is not None and noise.is_noiseless:
             noise = None
-        program = compile_trajectory_program(circuit, noise)
+        program = compile_trajectory_program_cached(circuit, noise)
         implicit = program.terminal is not None and program.terminal.implicit
         batch_size = self._batch_size_for(circuit.num_qubits, shots)
         sizes = [batch_size] * (shots // batch_size)
@@ -632,7 +665,17 @@ class StatevectorSimulator:
         if workers <= 1:
             results = [run_chunk(chunk) for chunk in range(len(sizes))]
         else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
+            from .threads import limit_blas_threads
+
+            # Cap BLAS at cores-per-worker: without the cap every worker's
+            # GEMMs spawn a full OpenMP team and the workers x cores
+            # oversubscription erases the parallel speedup; capping below
+            # cores/workers would idle cores.  Knob: ``pin_blas_threads``.
+            if self.pin_blas_threads:
+                guard = limit_blas_threads(max(1, (os.cpu_count() or 1) // workers))
+            else:
+                guard = nullcontext()
+            with guard, ThreadPoolExecutor(max_workers=workers) as pool:
                 results = list(pool.map(run_chunk, range(len(sizes))))
         counts = Counts.from_array(np.concatenate([bits for bits, _, _ in results], axis=0))
         _, state, last_index = results[-1]

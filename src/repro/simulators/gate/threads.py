@@ -1,0 +1,80 @@
+"""Best-effort BLAS/OpenMP thread pinning for the trajectory worker pool.
+
+With ``trajectory_workers > 1`` the batched engine runs one shot chunk per
+Python thread, and every chunk's GEMM calls into the host BLAS.  A BLAS
+built with its own OpenMP team then spawns ``cores`` threads *per worker* —
+``workers x cores`` runnable threads on ``cores`` cores — and the resulting
+oversubscription (cache thrashing, context switches) routinely makes the
+"parallel" configuration slower than the serial one.  The fix is standard:
+pin the BLAS pool to roughly ``cores / workers`` threads while the chunk
+pool is active, keeping the total runnable thread count near the core
+count.
+
+:func:`limit_blas_threads` implements that as a context manager with two
+strategies:
+
+* when ``threadpoolctl`` is importable it is used directly — it adjusts the
+  already-loaded OpenBLAS/MKL/BLIS pools at runtime and restores them on
+  exit, which is the reliable path;
+* otherwise the ``*_NUM_THREADS`` environment-variable family is set for the
+  duration of the block and restored afterwards.  Environment variables only
+  bind when a library initialises its pool, so this fallback protects
+  lazily-loaded libraries and child processes but cannot shrink a pool that
+  is already warm — it is **best-effort by design** (the container this
+  project targets ships no ``threadpoolctl``).
+
+The guard is wired to the simulator's ``pin_blas_threads`` knob (default on)
+and only engages when more than one trajectory worker is requested, so
+single-threaded runs keep whatever BLAS parallelism the host configured.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["limit_blas_threads", "THREAD_ENV_VARS"]
+
+#: Environment variables honoured by the common BLAS/OpenMP runtimes, set and
+#: restored by the fallback strategy of :func:`limit_blas_threads`.
+THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "BLIS_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+@contextmanager
+def limit_blas_threads(limit: int = 1) -> Iterator[None]:
+    """Cap BLAS/OpenMP thread pools at *limit* threads for the with-block.
+
+    Prefers ``threadpoolctl`` (runtime control of loaded pools, fully
+    restored on exit); falls back to setting the ``*_NUM_THREADS``
+    environment variables around the block, which lazily-initialised pools
+    honour.  Re-entrant and exception-safe either way.
+    """
+    if limit < 1:
+        raise ValueError("limit_blas_threads needs limit >= 1")
+    try:
+        from threadpoolctl import threadpool_limits
+    except ImportError:
+        threadpool_limits = None
+    if threadpool_limits is not None:
+        with threadpool_limits(limits=limit):
+            yield
+        return
+    saved = {var: os.environ.get(var) for var in THREAD_ENV_VARS}
+    for var in THREAD_ENV_VARS:
+        os.environ[var] = str(limit)
+    try:
+        yield
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value

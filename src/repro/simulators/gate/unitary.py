@@ -14,7 +14,7 @@ import numpy as np
 
 from ...core.errors import SimulationError
 from .circuit import Circuit
-from .fusion import compile_trajectory_program
+from .fusion import compile_trajectory_program_cached
 from .gates import gate_matrix
 from .kernels import apply_plan_inplace
 
@@ -52,7 +52,7 @@ def circuit_unitary(circuit: Circuit, *, fuse: bool = True) -> np.ndarray:
     dim = 1 << n
     tensor = np.eye(dim, dtype=np.complex128).reshape((2,) * n + (dim,))
     if fuse:
-        program = compile_trajectory_program(circuit)
+        program = compile_trajectory_program_cached(circuit)
         for step in program.steps:
             apply_plan_inplace(tensor, step.plan, step.qubits)
         return tensor.reshape(dim, dim)

@@ -11,7 +11,12 @@ from .maxcut import (
     ring_coupling_map,
     solve_maxcut,
 )
-from .qaoa_optimizer import QAOAOptimizationResult, evaluate_angles, optimize_qaoa
+from .qaoa_optimizer import (
+    QAOAOptimizationResult,
+    VariationalEvaluator,
+    evaluate_angles,
+    optimize_qaoa,
+)
 
 __all__ = [
     "solve_maxcut",
@@ -25,6 +30,7 @@ __all__ = [
     "optimize_qaoa",
     "evaluate_angles",
     "QAOAOptimizationResult",
+    "VariationalEvaluator",
     "write_artifacts",
     "read_artifacts",
     "run_artifacts",

@@ -67,8 +67,17 @@ def default_gate_context(
     seed: Optional[int] = 42,
     constrain_target: bool = True,
     optimization_level: int = 2,
+    variational_evaluation: Optional[str] = None,
 ) -> ContextDescriptor:
-    """The Qiskit-style execution context of Fig. 2 (ring coupling map)."""
+    """The Qiskit-style execution context of Fig. 2 (ring coupling map).
+
+    ``variational_evaluation`` optionally selects the evaluation mode of the
+    QAOA outer loop (``"sampled"`` | ``"expectation"``; see
+    :mod:`repro.workflows.qaoa_optimizer`) — ``"expectation"`` turns every
+    optimisation step into an exact, shot-free observable expectation and
+    unlocks the batched parameter-grid sweep.  ``None`` (the default) leaves
+    the option unset, which means sampled.
+    """
     target = (
         TargetSpec(
             basis_gates=["sx", "rz", "cx"],
@@ -77,13 +86,16 @@ def default_gate_context(
         if constrain_target
         else None
     )
+    options: Dict[str, object] = {"optimization_level": optimization_level}
+    if variational_evaluation is not None:
+        options["variational_evaluation"] = str(variational_evaluation)
     return ContextDescriptor(
         exec=ExecPolicy(
             engine="gate.aer_simulator",
             samples=samples,
             seed=seed,
             target=target,
-            options={"optimization_level": optimization_level},
+            options=options,
         )
     )
 

@@ -1,28 +1,71 @@
 """Classical outer loop optimising QAOA angles through the middle layer.
 
 The intent artifacts (typed register, problem graph, measurement schema) are
-built once; each optimisation step only re-binds the angles — the late-binding
-pattern of Section 3 — and re-submits the bundle to whatever engine the
-context names.  Both a grid search and a Nelder-Mead refinement (SciPy) are
-provided.
+built **once per optimisation** by a :class:`VariationalEvaluator`; each
+optimisation step only re-binds the angles — the late-binding pattern of
+Section 3 — and re-evaluates on whatever engine the context names.  Both a
+grid search and a Nelder-Mead refinement (SciPy) are provided.
+
+Evaluation modes (exec-policy knob ``variational_evaluation``)
+--------------------------------------------------------------
+``"sampled"`` (default)
+    The PR 3 behaviour: bind the angles into the descriptor stack, package,
+    submit through the backend (lower, transpile, simulate, sample shots) and
+    estimate the expected cut from the decoded histogram.  Exactly
+    reproducible against earlier releases, but every evaluation pays a full
+    compile + sample round trip and carries shot noise.
+``"expectation"``
+    The variational fast path: the QAOA state is evolved directly through
+    the fusion compiler's parametric template cache (structure compiled
+    once, angles re-bound per evaluation) and the energy is read off as an
+    **exact expectation** of the Ising cost observable
+    (:func:`~repro.oplib.ising.ising_cost_observable`) — variance-free, no
+    transpilation, no sampling.  Requires a noiseless context, or
+    ``trajectory_engine="density"`` to route noisy evaluations through the
+    exact :class:`~repro.simulators.gate.density.DensityMatrixSimulator`
+    oracle (readout error never enters an expectation — it is a classical
+    channel on records, not on the state).
+
+On top of the expectation mode, the **grid-search stage** of
+:func:`optimize_qaoa` is executed as one batched evolution: the
+:class:`~repro.simulators.gate.batched.BatchedStatevector`'s trailing batch
+axis holds (gamma, beta) *candidates* instead of shots, parameterized cost
+rotations apply as per-column diagonal phases (``rx`` mixers as per-column
+dense 2x2 kernels), and every candidate's energy is a per-column
+``<Z_i Z_j>`` reduction — hundreds of evaluations for the cost of one
+chunked sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize as sciopt
 
 from ..core.bundle import package
 from ..core.context import ContextDescriptor
+from ..core.errors import ContextError
+from ..oplib.ising import ising_cost_observable
 from ..oplib.qaoa import bind_qaoa_parameters, qaoa_sequence
 from ..backends.runtime import submit
 from ..problems.maxcut import MaxCutProblem
+from ..simulators.gate.batched import BatchedStatevector
+from ..simulators.gate.circuit import Circuit
+from ..simulators.gate.noise import NoiseModel
+from ..simulators.gate.statevector import DEFAULT_MAX_BATCH_MEMORY, Statevector
 from .maxcut import default_gate_context, maxcut_register
 
-__all__ = ["QAOAOptimizationResult", "evaluate_angles", "optimize_qaoa"]
+__all__ = [
+    "QAOAOptimizationResult",
+    "VariationalEvaluator",
+    "evaluate_angles",
+    "optimize_qaoa",
+]
+
+#: Accepted values of the ``variational_evaluation`` exec-policy option.
+VARIATIONAL_MODES = ("sampled", "expectation")
 
 
 @dataclass
@@ -41,6 +84,241 @@ class QAOAOptimizationResult:
         return self.best_expected_cut / self.optimal_cut if self.optimal_cut else 0.0
 
 
+def _rzz_column_diagonal(thetas: np.ndarray) -> np.ndarray:
+    """Per-column ``rzz(theta_c)`` diagonals, shape ``(4, batch)``."""
+    half = 0.5j * np.asarray(thetas, dtype=np.float64)
+    ep, em = np.exp(-half), np.exp(half)
+    return np.stack([ep, em, em, ep])
+
+
+def _rx_column_matrices(thetas: np.ndarray) -> np.ndarray:
+    """Per-column ``rx(theta_c)`` matrices, shape ``(2, 2, batch)``."""
+    half = 0.5 * np.asarray(thetas, dtype=np.float64)
+    c = np.cos(half).astype(np.complex128)
+    s = -1j * np.sin(half)
+    return np.stack([np.stack([c, s]), np.stack([s, c])])
+
+
+class VariationalEvaluator:
+    """One QAOA optimisation session over a fixed problem and context.
+
+    Builds the intent artifacts — the typed register, the unbound QAOA
+    descriptor template, the cost observable — **once** in the constructor;
+    every :meth:`evaluate` call then only binds angles.  Combined with the
+    fusion compiler's parametric template cache (which memoises the
+    structural compilation of the per-evaluation circuits) this removes all
+    per-evaluation rebuild work that PR 3's ``evaluate_angles`` paid on
+    every call.
+
+    The evaluation mode comes from the context's ``variational_evaluation``
+    exec-policy option (see the module docstring); ``"expectation"``
+    additionally unlocks :meth:`evaluate_grid`, the batched parameter-grid
+    sweep used by :func:`optimize_qaoa`'s grid stage.
+    """
+
+    def __init__(
+        self,
+        problem: MaxCutProblem,
+        *,
+        reps: int = 1,
+        context: Optional[ContextDescriptor] = None,
+        register_id: str = "ising_vars",
+    ):
+        if reps < 1:
+            raise ContextError("VariationalEvaluator needs reps >= 1")
+        self.problem = problem
+        self.reps = int(reps)
+        self.context = context or default_gate_context(problem)
+        options = self.context.exec.options
+        mode = str(options.get("variational_evaluation", "sampled"))
+        if mode not in VARIATIONAL_MODES:
+            raise ContextError(
+                f"unknown variational_evaluation mode {mode!r}; "
+                f"expected one of {VARIATIONAL_MODES}"
+            )
+        self.mode = mode
+        self.register_id = register_id
+        self.qdt = maxcut_register(problem, register_id=register_id)
+        self.template = qaoa_sequence(
+            self.qdt, problem.edges, weights=problem.weights, reps=self.reps
+        )
+        noise = NoiseModel.from_dict(options.get("noise"))
+        self.noise_model = None if noise is None or noise.is_noiseless else noise
+        self.engine = str(options.get("trajectory_engine", "batched"))
+        if self.mode == "expectation" and self.noise_model is not None and self.engine != "density":
+            raise ContextError(
+                "variational_evaluation='expectation' needs a noiseless context "
+                "or trajectory_engine='density' (the exact-noise oracle); "
+                "sampled trajectory engines cannot produce exact expectations"
+            )
+        self.observable = ising_cost_observable(
+            problem.num_nodes, edges=problem.edges, weights=problem.weights
+        )
+        self.evaluations = 0
+
+    # -- single-point evaluation ----------------------------------------------
+    def evaluate(self, gammas: Sequence[float], betas: Sequence[float]) -> float:
+        """Expected cut of one (gammas, betas) assignment in the session's mode."""
+        gammas = [float(g) for g in gammas]
+        betas = [float(b) for b in betas]
+        if len(gammas) != self.reps or len(betas) != self.reps:
+            raise ContextError(
+                f"expected {self.reps} gammas and betas, "
+                f"got {len(gammas)} and {len(betas)}"
+            )
+        self.evaluations += 1
+        if self.mode == "expectation":
+            return self._evaluate_expectation(gammas, betas)
+        return self._evaluate_sampled(gammas, betas)
+
+    def _evaluate_sampled(self, gammas: List[float], betas: List[float]) -> float:
+        """PR 3 path: bind -> package -> submit -> decode -> expected cut."""
+        bound = bind_qaoa_parameters(self.template, gammas, betas)
+        bundle = package(
+            self.qdt,
+            bound,
+            self.context,
+            name="maxcut-qaoa-eval",
+            producer="repro.workflows.qaoa_optimizer",
+        )
+        result = submit(bundle)
+        decoded = result.decoded().single()
+        distribution = {o.bits: o.probability for o in decoded.outcomes}
+        return self.problem.expected_cut_from_distribution(distribution)
+
+    def _qaoa_circuit(self, gammas: List[float], betas: List[float]) -> Circuit:
+        """The measurement-free QAOA circuit (qubit ``i`` = node ``i``).
+
+        Mirrors the gate realization rules exactly — ``H`` layer, per-edge
+        ``rzz(2*gamma*w)``, per-qubit ``rx(2*beta)`` — without the backend
+        round trip; exact simulation needs no basis/coupling transpilation.
+        """
+        n = self.problem.num_nodes
+        circuit = Circuit(n, name="maxcut-qaoa-expectation")
+        for q in range(n):
+            circuit.h(q)
+        edges, weights = self.problem.edges, self.problem.weights
+        for layer in range(self.reps):
+            for (i, j), w in zip(edges, weights):
+                circuit.rzz(2.0 * gammas[layer] * w, i, j)
+            for q in range(n):
+                circuit.rx(2.0 * betas[layer], q)
+        return circuit
+
+    def _evaluate_expectation(self, gammas: List[float], betas: List[float]) -> float:
+        """Exact energy expectation -> cut, via statevector or density oracle."""
+        circuit = self._qaoa_circuit(gammas, betas)
+        if self.noise_model is not None or self.engine == "density":
+            from ..simulators.gate.density import DensityMatrixSimulator
+
+            energy = DensityMatrixSimulator(noise_model=self.noise_model).expectation(
+                circuit, self.observable
+            )
+        else:
+            state = Statevector(circuit.num_qubits).evolve(circuit)
+            energy = state.expectation(self.observable)
+        return self.problem.cut_from_energy(energy)
+
+    # -- batched grid sweep ------------------------------------------------------
+    @property
+    def supports_batched_grid(self) -> bool:
+        """Whether :meth:`evaluate_grid` can vectorise over candidates.
+
+        True for the pure-state expectation path (noiseless, non-density):
+        the batch axis then holds parameter candidates and a whole grid
+        evolves in one chunked sweep.  Other configurations fall back to
+        per-candidate :meth:`evaluate` calls inside :meth:`evaluate_grid`.
+        """
+        return self.mode == "expectation" and self.noise_model is None and self.engine != "density"
+
+    def evaluate_grid(
+        self,
+        gammas: Sequence,
+        betas: Sequence,
+        *,
+        max_batch_memory: Optional[int] = None,
+    ) -> np.ndarray:
+        """Expected cut of every (gamma, beta) candidate, batched when possible.
+
+        *gammas* / *betas* are per-candidate angles: 1-D arrays assign one
+        angle to **all** layers of a candidate (the grid-search convention),
+        2-D ``(candidates, reps)`` arrays give full per-layer control.  On
+        the pure-state expectation path all candidates evolve simultaneously
+        as columns of one :class:`BatchedStatevector` (chunked to the
+        ``max_batch_memory`` byte budget, default from the context options):
+        parameterized rotations are per-column diagonal phases and each
+        candidate's energy is a per-column ``<Z_i Z_j>`` reduction.  Chunk
+        decomposition never changes the values — per-column arithmetic is
+        independent — so results are bit-identical for every budget.
+        Other modes evaluate candidates sequentially via :meth:`evaluate`.
+        """
+        garr = self._candidate_angles(gammas, "gammas")
+        barr = self._candidate_angles(betas, "betas")
+        if garr.shape != barr.shape:
+            raise ContextError(
+                f"gamma candidates {garr.shape} and beta candidates "
+                f"{barr.shape} do not match"
+            )
+        if len(garr) == 0:
+            return np.zeros(0, dtype=np.float64)
+        if not self.supports_batched_grid:
+            return np.array(
+                [
+                    self.evaluate(tuple(garr[k]), tuple(barr[k]))
+                    for k in range(len(garr))
+                ]
+            )
+        if max_batch_memory is None:
+            max_batch_memory = self.context.exec.options.get(
+                "max_batch_memory", DEFAULT_MAX_BATCH_MEMORY
+            )
+        total = len(garr)
+        if max_batch_memory is None:
+            chunk = total
+        else:
+            bytes_per_column = 2 * 16 * (1 << self.problem.num_nodes)
+            chunk = max(1, min(total, int(max_batch_memory) // bytes_per_column))
+        values = [
+            self._grid_chunk(garr[start : start + chunk], barr[start : start + chunk])
+            for start in range(0, total, chunk)
+        ]
+        self.evaluations += total
+        return np.concatenate(values)
+
+    def _candidate_angles(self, angles: Sequence, label: str) -> np.ndarray:
+        """Normalise candidate angles to a float64 ``(candidates, reps)`` array."""
+        arr = np.asarray(angles, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = np.repeat(arr[:, None], self.reps, axis=1)
+        if arr.ndim != 2 or arr.shape[1] != self.reps:
+            raise ContextError(
+                f"{label} candidates must be 1-D or (candidates, {self.reps}), "
+                f"got shape {arr.shape}"
+            )
+        return arr
+
+    def _grid_chunk(self, garr: np.ndarray, barr: np.ndarray) -> np.ndarray:
+        """Evolve one chunk of candidates and reduce to expected cuts."""
+        n = self.problem.num_nodes
+        batch = len(garr)
+        state = BatchedStatevector(n, batch, dtype=np.complex128)
+        state.fill_uniform()
+        edges, weights = self.problem.edges, self.problem.weights
+        for layer in range(self.reps):
+            for (i, j), w in zip(edges, weights):
+                state.apply_diagonal_columns(
+                    _rzz_column_diagonal(2.0 * w * garr[:, layer]), (i, j)
+                )
+            mixer = _rx_column_matrices(2.0 * barr[:, layer])
+            for q in range(n):
+                state.apply_1q_columns(mixer, q)
+        probs = state.probabilities_columns()  # one traversal for every edge
+        energies = np.zeros(batch, dtype=np.float64)
+        for (i, j), w in zip(edges, weights):
+            energies += w * state.expectation_zz_columns(i, j, probs)
+        return (self.problem.total_weight - energies) / 2.0
+
+
 def evaluate_angles(
     problem: MaxCutProblem,
     gammas: Sequence[float],
@@ -49,21 +327,16 @@ def evaluate_angles(
     context: Optional[ContextDescriptor] = None,
     register_id: str = "ising_vars",
 ) -> float:
-    """Expected cut of one (gamma, beta) assignment on the configured engine."""
-    qdt = maxcut_register(problem, register_id=register_id)
-    template = qaoa_sequence(qdt, problem.edges, weights=problem.weights, reps=len(gammas))
-    bound = bind_qaoa_parameters(template, list(gammas), list(betas))
-    bundle = package(
-        qdt,
-        bound,
-        context or default_gate_context(problem),
-        name="maxcut-qaoa-eval",
-        producer="repro.workflows.qaoa_optimizer",
+    """Expected cut of one (gamma, beta) assignment on the configured engine.
+
+    One-shot convenience wrapper over :class:`VariationalEvaluator`; inside
+    an optimisation loop build the evaluator once instead, so the register,
+    descriptor template and cost observable are not rebuilt per call.
+    """
+    evaluator = VariationalEvaluator(
+        problem, reps=len(list(gammas)), context=context, register_id=register_id
     )
-    result = submit(bundle)
-    decoded = result.decoded().single()
-    distribution = {o.bits: o.probability for o in decoded.outcomes}
-    return problem.expected_cut_from_distribution(distribution)
+    return evaluator.evaluate(gammas, betas)
 
 
 def optimize_qaoa(
@@ -81,36 +354,54 @@ def optimize_qaoa(
     Strategy: coarse grid search over ``[0, pi)`` per angle (first layer only;
     deeper layers reuse the first layer's grid optimum as a starting point),
     optionally followed by Nelder-Mead refinement of all ``2 * reps`` angles.
+
+    The evaluation mode follows the context's ``variational_evaluation``
+    option: under ``"expectation"`` (noiseless) the whole grid stage runs as
+    **one batched evolution** — the candidate axis rides the batched
+    engine's shot axis — and each refinement step is an exact, shot-free
+    expectation, typically orders of magnitude faster than the default
+    sampled mode (see ``benchmarks/bench_variational.py``).
     """
+    evaluator = VariationalEvaluator(problem, reps=reps, context=context)
     optimal_cut, _ = problem.brute_force()
     history: List[Dict[str, float]] = []
-    evaluations = 0
+
+    def record(gammas: Sequence[float], betas: Sequence[float], value: float) -> None:
+        history.append(
+            {
+                "expected_cut": value,
+                **{f"gamma_{i}": float(g) for i, g in enumerate(gammas)},
+                **{f"beta_{i}": float(b) for i, b in enumerate(betas)},
+            }
+        )
 
     def objective(angles: np.ndarray) -> float:
-        nonlocal evaluations
         gammas = tuple(float(a) for a in angles[:reps])
         betas = tuple(float(a) for a in angles[reps:])
-        value = evaluate_angles(problem, gammas, betas, context=context)
-        evaluations += 1
-        history.append(
-            {"expected_cut": value, **{f"gamma_{i}": g for i, g in enumerate(gammas)},
-             **{f"beta_{i}": b for i, b in enumerate(betas)}}
-        )
+        value = evaluator.evaluate(gammas, betas)
+        record(gammas, betas, value)
         return -value
 
-    # Coarse grid over the first layer.
+    # Coarse grid over the first layer (every layer shares the grid angle).
+    # evaluate_grid vectorises over candidates in expectation mode and
+    # degrades to per-candidate evaluation otherwise — one code path.
     grid = np.linspace(0.0, np.pi, grid_resolution, endpoint=False)[1:]
     best_value = -np.inf
     best_angles = np.full(2 * reps, np.pi / 8)
-    for gamma in grid:
-        for beta in grid:
-            candidate = np.full(2 * reps, 0.0)
-            candidate[:reps] = gamma
-            candidate[reps:] = beta
-            value = -objective(candidate)
-            if value > best_value:
-                best_value = value
-                best_angles = candidate
+    if len(grid):
+        candidate_gammas = np.repeat(grid, len(grid))
+        candidate_betas = np.tile(grid, len(grid))
+        values = evaluator.evaluate_grid(candidate_gammas, candidate_betas)
+        for gamma, beta, value in zip(candidate_gammas, candidate_betas, values):
+            record((gamma,) * reps, (beta,) * reps, float(value))
+        best_index = int(np.argmax(values))
+        best_value = float(values[best_index])
+        best_angles = np.concatenate(
+            [
+                np.full(reps, candidate_gammas[best_index]),
+                np.full(reps, candidate_betas[best_index]),
+            ]
+        )
 
     if refine:
         refinement = sciopt.minimize(
@@ -128,6 +419,6 @@ def optimize_qaoa(
         best_betas=tuple(float(a) for a in best_angles[reps:]),
         best_expected_cut=float(best_value),
         optimal_cut=float(optimal_cut),
-        evaluations=evaluations,
+        evaluations=evaluator.evaluations,
         history=history,
     )

@@ -152,3 +152,74 @@ def test_fusion_preserves_terminal_distribution_on_transpiled_circuits():
         for clbit, qubit in clbit_to_qubit.items():
             index[qubit] = int(key[clbit])
         assert diagonal[tuple(index)] == pytest.approx(probability, abs=1e-10)
+
+
+# -- same-pair 2q fusion (PR 4) -----------------------------------------------------
+
+def same_pair_heavy_circuit(num_qubits, rng, length=24):
+    """A circuit dominated by consecutive 2q gates on repeated qubit pairs."""
+    circuit = Circuit(num_qubits)
+    twoq = ["cx", "cz", "rzz", "swap", "iswap", "rxx"]
+    pairs = [(q, q + 1) for q in range(num_qubits - 1)] + [
+        (q + 1, q) for q in range(num_qubits - 1)
+    ]
+    pair = pairs[int(rng.integers(len(pairs)))]
+    for _ in range(length):
+        if rng.random() < 0.7:  # mostly stay on the same (possibly flipped) pair
+            pair = pair if rng.random() < 0.5 else (pair[1], pair[0])
+        else:
+            pair = pairs[int(rng.integers(len(pairs)))]
+        name = twoq[int(rng.integers(len(twoq)))]
+        params = [float(rng.uniform(0, 2 * np.pi))] if name in ("rzz", "rxx") else []
+        circuit.append(name, list(pair), params)
+        if rng.random() < 0.3:
+            circuit.rz(float(rng.uniform(0, np.pi)), int(rng.integers(num_qubits)))
+    return circuit
+
+
+@pytest.mark.parametrize("circuit_seed", [0, 1, 2, 3])
+def test_same_pair_fusion_preserves_unitary(circuit_seed):
+    rng = np.random.default_rng(9000 + circuit_seed)
+    circuit = same_pair_heavy_circuit(3, rng)
+    program = compile_trajectory_program(circuit)
+    # Fusion must actually fire: far fewer steps than 2q instructions.
+    twoq_count = sum(1 for inst in circuit.instructions if inst.num_qubits == 2)
+    assert len(program.steps) < twoq_count
+    fused = circuit_unitary(circuit, fuse=True)
+    unfused = circuit_unitary(circuit, fuse=False)
+    assert np.allclose(fused, unfused, atol=1e-12)
+
+
+def test_same_pair_run_collapses_to_one_step():
+    circuit = Circuit(2)
+    circuit.rzz(0.3, 0, 1)
+    circuit.cx(0, 1)
+    circuit.cx(1, 0)  # reversed orientation still fuses (SWAP conjugation)
+    circuit.rzz(0.8, 1, 0)
+    program = compile_trajectory_program(circuit)
+    assert len(program.steps) == 1
+    assert isinstance(program.steps[0], GateStep)
+
+
+@pytest.mark.parametrize("circuit_seed", [0, 1, 2])
+def test_same_pair_fusion_noise_pushing_is_exact(circuit_seed):
+    # The earlier gate's (already conjugated) error events are pushed through
+    # the later same-pair gate; the channel must be unchanged entry by entry.
+    rng = np.random.default_rng(9100 + circuit_seed)
+    circuit = same_pair_heavy_circuit(3, rng, length=14)
+    noise = NoiseModel(oneq_error=0.06, twoq_error=0.11)
+    fused = fused_noisy_density(circuit, noise)
+    unfused = unfused_noisy_density(circuit, noise)
+    assert np.allclose(fused.matrix, unfused.matrix, atol=1e-12)
+
+
+def test_same_pair_fusion_does_not_cross_measurements():
+    circuit = Circuit(2, 2)
+    circuit.cx(0, 1)
+    circuit.measure(0, 0)
+    circuit.cx(0, 1)
+    circuit.measure(0, 1)
+    program = compile_trajectory_program(circuit)
+    kinds = [type(step).__name__ for step in program.steps]
+    # The mid-circuit measurement keeps the two CNOTs apart.
+    assert kinds.count("GateStep") == 2

@@ -207,3 +207,74 @@ def test_fused_circuit_unitary_rejects_reset():
         circuit_unitary(circuit)
     with pytest.raises(SimulationError):
         circuit_unitary(circuit, fuse=False)
+
+
+# -- BLAS thread pinning (PR 4) -----------------------------------------------------
+
+def test_limit_blas_threads_sets_and_restores_environment(monkeypatch):
+    import os
+
+    from repro.simulators.gate.threads import THREAD_ENV_VARS, limit_blas_threads
+
+    monkeypatch.setenv("OMP_NUM_THREADS", "8")
+    monkeypatch.delenv("OPENBLAS_NUM_THREADS", raising=False)
+    try:
+        import threadpoolctl  # noqa: F401
+
+        has_threadpoolctl = True
+    except ImportError:
+        has_threadpoolctl = False
+    with limit_blas_threads(1):
+        if not has_threadpoolctl:
+            # Env-var fallback: every knob pinned for the duration.
+            for var in THREAD_ENV_VARS:
+                assert os.environ[var] == "1"
+    # Restored exactly: pre-existing values back, absent ones absent again.
+    assert os.environ["OMP_NUM_THREADS"] == "8"
+    if not has_threadpoolctl:
+        assert "OPENBLAS_NUM_THREADS" not in os.environ
+
+
+def test_limit_blas_threads_rejects_nonpositive_limit():
+    from repro.simulators.gate.threads import limit_blas_threads
+
+    with pytest.raises(ValueError):
+        with limit_blas_threads(0):
+            pass  # pragma: no cover
+
+
+def test_pin_blas_threads_knob_validated_and_counts_unchanged():
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(pin_blas_threads="yes")
+    circuit, noise = noisy_circuit()
+    runs = {}
+    for pin in (True, False):
+        simulator = StatevectorSimulator(
+            noise_model=noise,
+            max_batch_memory=128 * 32,
+            trajectory_workers=2,
+            pin_blas_threads=pin,
+        )
+        runs[pin] = dict(simulator.run(circuit, shots=600, seed=5).counts)
+    # The guard only caps intra-GEMM parallelism; sampling is untouched.
+    assert runs[True] == runs[False]
+
+
+def test_backend_wires_pin_blas_threads():
+    from repro.backends.gate_backend import GateBackend
+    from repro.core.context import ContextDescriptor, ExecPolicy
+    from repro.problems import MaxCutProblem
+    from repro.workflows import build_qaoa_bundle
+
+    problem = MaxCutProblem.cycle(4)
+    context = ContextDescriptor(
+        exec=ExecPolicy(
+            engine="gate.aer_simulator",
+            samples=64,
+            seed=2,
+            options={"pin_blas_threads": False, "trajectory_workers": 2},
+        )
+    )
+    bundle = build_qaoa_bundle(problem, context=context)
+    result = GateBackend().run(bundle)
+    assert result.counts.shots == 64
