@@ -1,0 +1,259 @@
+"""Noisy fast-path benchmark: compile cache, GEMM crossover, transpile cache.
+
+Times the three PR 5 layers and writes ``BENCH_noisy.json`` at the
+repository root:
+
+* **noisy compilation** — compiles/sec of the fusion compiler on a noisy
+  12-qubit QAOA circuit, cold (caches cleared per compile) versus warm
+  (program-cache hit: the exact re-run every QEC/seed-sweep iteration pays)
+  versus warm re-bind (template hit with fresh angles — the variational
+  loop's iteration cost).  The headline target is **>= 5x warm vs cold**;
+  the warm path is a dictionary hit, so the measured ratio is typically two
+  orders of magnitude.
+* **GEMM crossover** — batched-engine wall clock per noise rate with the
+  masked-slice path (``noise_gemm_threshold=None``) versus the per-column
+  operator GEMM path (threshold ``0``), plus the bit-identity check between
+  their seeded counts.  The recorded crossover is the smallest swept rate at
+  which the GEMM path wins.
+* **transpile cache** — structure-keyed transpile of the QAOA shape against
+  an 8x8 grid device, uncached versus warm cache (routing replay).
+
+Run standalone (``python benchmarks/bench_noisy_fastpath.py``), as a quick
+CI smoke (``--smoke``: one tiny row, no JSON written), or via pytest
+(``pytest benchmarks/bench_noisy_fastpath.py``, which asserts the floors).
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulators.gate import (
+    Circuit,
+    NoiseModel,
+    StatevectorSimulator,
+    clear_compile_caches,
+    compile_trajectory_program_cached,
+    transpile,
+    transpile_cached,
+)
+from repro.simulators.gate.transpiler import clear_transpile_cache
+
+SEED = 29
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_noisy.json"
+
+#: Depolarizing rates of the headline compile row (QEC-flavoured: rare 1q
+#: errors, 2q errors an order of magnitude more likely).
+COMPILE_NOISE = {"oneq_error": 0.002, "twoq_error": 0.01, "readout_error": 0.01}
+
+#: Noise rates swept for the GEMM-vs-slice crossover.  The top rates sit
+#: well past the expected crossover so the slow-lane "a crossover exists"
+#: assertion has timing headroom on loaded CI hosts (measured ~1.7x GEMM
+#: advantage at rate 0.2, ~2x at 0.3 on the dev container).
+GEMM_RATES = (0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3)
+
+
+def qaoa_circuit(num_qubits, gamma, beta, *, measure=True):
+    """Ring-plus-chords QAOA shape (the variational benchmarks' landscape)."""
+    circuit = Circuit(num_qubits, num_qubits)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for q in range(num_qubits - 1):
+        circuit.rzz(2.0 * gamma, q, q + 1)
+    for q in range(0, num_qubits, 2):
+        circuit.rzz(1.1 * gamma, q, (q + 2) % num_qubits)
+    for q in range(num_qubits):
+        circuit.rx(2.0 * beta, q)
+    if measure:
+        for q in range(num_qubits):
+            circuit.measure(q, q)
+    return circuit
+
+
+def grid_coupling(rows, cols):
+    """Edge list of a rows x cols nearest-neighbour device."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return edges
+
+
+def time_loop(fn, repeats):
+    """Total wall clock of *repeats* calls, as seconds per call."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def bench_compile(num_qubits, repeats):
+    """Cold vs warm vs re-bind noisy compile throughput at one width."""
+    noise = NoiseModel(**COMPILE_NOISE)
+    circuit = qaoa_circuit(num_qubits, 0.4, 0.7)
+    dtype = np.dtype(np.complex64)
+
+    def cold():
+        clear_compile_caches()
+        compile_trajectory_program_cached(circuit, noise, dtype=dtype)
+
+    cold_s = time_loop(cold, repeats)
+    compile_trajectory_program_cached(circuit, noise, dtype=dtype)  # prime
+    warm_s = time_loop(
+        lambda: compile_trajectory_program_cached(circuit, noise, dtype=dtype),
+        repeats,
+    )
+    angles = iter(np.linspace(0.05, 2.9, repeats + 1))
+
+    def rebind():
+        angle = next(angles)
+        compile_trajectory_program_cached(
+            qaoa_circuit(num_qubits, angle, -angle), noise, dtype=dtype
+        )
+
+    rebind_s = time_loop(rebind, repeats)
+
+    # Seeded counts must not depend on cache temperature.
+    simulator = StatevectorSimulator(noise_model=noise)
+    clear_compile_caches()
+    cold_counts = simulator.run(circuit, shots=256, seed=SEED).counts
+    warm_counts = simulator.run(circuit, shots=256, seed=SEED).counts
+    identical = dict(cold_counts) == dict(warm_counts)
+    assert identical, "cold/warm noisy compile changed seeded counts"
+
+    return {
+        "num_qubits": num_qubits,
+        "noise": dict(COMPILE_NOISE),
+        "compile_cold_ms": round(cold_s * 1e3, 4),
+        "compile_warm_ms": round(warm_s * 1e3, 4),
+        "compile_rebind_ms": round(rebind_s * 1e3, 4),
+        "warm_speedup": round(cold_s / warm_s, 1),
+        "rebind_speedup": round(cold_s / rebind_s, 1),
+        "seeded_counts_identical_cold_vs_warm": identical,
+    }
+
+
+def bench_gemm_crossover(num_qubits, shots):
+    """Slice vs GEMM wall clock per noise rate, plus the count-identity check."""
+    circuit = qaoa_circuit(num_qubits, 0.6, 0.9)
+    rows = []
+    crossover = None
+    for rate in GEMM_RATES:
+        noise = NoiseModel(oneq_error=rate, twoq_error=min(2 * rate, 0.99))
+        timings = {}
+        counts = {}
+        for label, threshold in (("slice", None), ("gemm", 0.0)):
+            simulator = StatevectorSimulator(
+                noise_model=noise, noise_gemm_threshold=threshold
+            )
+            simulator.run(circuit, shots=min(shots, 64), seed=SEED)  # warm caches
+            start = time.perf_counter()
+            result = simulator.run(circuit, shots=shots, seed=SEED)
+            timings[label] = time.perf_counter() - start
+            counts[label] = dict(result.counts)
+        identical = counts["slice"] == counts["gemm"]
+        assert identical, f"GEMM/slice counts diverged at rate {rate}"
+        speedup = timings["slice"] / timings["gemm"]
+        if crossover is None and speedup >= 1.0:
+            crossover = rate
+        rows.append(
+            {
+                "oneq_error": rate,
+                "twoq_error": min(2 * rate, 0.99),
+                "slice_s": round(timings["slice"], 4),
+                "gemm_s": round(timings["gemm"], 4),
+                "gemm_speedup": round(speedup, 2),
+                "seeded_counts_identical": identical,
+            }
+        )
+    return {
+        "num_qubits": num_qubits,
+        "shots": shots,
+        "rates": rows,
+        "crossover_oneq_error": crossover,
+    }
+
+
+def bench_transpile(num_qubits, repeats, rows=8, cols=8):
+    """Uncached vs warm structure-keyed transpile against a grid device."""
+    coupling = grid_coupling(rows, cols)
+    config = dict(
+        basis_gates=["rz", "sx", "cx"], coupling_map=coupling, optimization_level=2
+    )
+    angles = np.linspace(0.05, 2.9, 2 * repeats + 2)
+    clear_transpile_cache()
+    uncached_s = time_loop(
+        lambda: transpile(qaoa_circuit(num_qubits, angles[0], angles[1]), **config),
+        repeats,
+    )
+    transpile_cached(qaoa_circuit(num_qubits, 0.3, 0.5), **config)  # prime
+    pool = iter(angles)
+
+    def warm():
+        angle = next(pool)
+        transpile_cached(qaoa_circuit(num_qubits, angle, -angle), **config)
+
+    warm_s = time_loop(warm, repeats)
+    return {
+        "num_qubits": num_qubits,
+        "device": f"{rows}x{cols} grid",
+        "transpile_uncached_ms": round(uncached_s * 1e3, 3),
+        "transpile_warm_ms": round(warm_s * 1e3, 3),
+        "transpile_speedup": round(uncached_s / warm_s, 1),
+    }
+
+
+def run_suite(write=True, *, compile_qubits=12, gemm_qubits=10, shots=2048, repeats=40):
+    """Time every section and (optionally) write the JSON record."""
+    record = {
+        "benchmark": "noisy_fastpath",
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "compile": bench_compile(compile_qubits, repeats),
+        "gemm_crossover": bench_gemm_crossover(gemm_qubits, shots),
+        "transpile": bench_transpile(compile_qubits, max(repeats // 2, 5)),
+    }
+    if write:
+        OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def test_noisy_fastpath_floors():
+    """Warm noisy compile >= 5x cold at 12q; a GEMM crossover is measured."""
+    record = run_suite()
+    compile_row = record["compile"]
+    assert compile_row["num_qubits"] == 12
+    assert compile_row["warm_speedup"] >= 5.0, record
+    assert compile_row["seeded_counts_identical_cold_vs_warm"]
+    crossover = record["gemm_crossover"]
+    assert all(row["seeded_counts_identical"] for row in crossover["rates"])
+    assert crossover["crossover_oneq_error"] is not None, record
+    assert record["transpile"]["transpile_speedup"] >= 1.0, record
+
+
+def test_noisy_fastpath_smoke():
+    """Tiny fast-lane row: every section runs, identities hold, no floors."""
+    record = run_suite(
+        write=False, compile_qubits=6, gemm_qubits=5, shots=256, repeats=5
+    )
+    assert record["compile"]["seeded_counts_identical_cold_vs_warm"]
+    assert all(
+        row["seeded_counts_identical"] for row in record["gemm_crossover"]["rates"]
+    )
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        record = run_suite(
+            write=False, compile_qubits=6, gemm_qubits=5, shots=256, repeats=5
+        )
+        print(json.dumps(record, indent=2))
+    else:
+        print(json.dumps(run_suite(), indent=2))

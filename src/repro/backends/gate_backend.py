@@ -6,7 +6,9 @@ Execution pipeline for one bundle:
    declaration order) and classical bits to each measuring operator,
 2. lower every operator descriptor through the gate realization rules,
 3. transpile against the context's ``target`` block (basis gates, coupling
-   map, optimisation level),
+   map, optimisation level) through the structure-keyed transpile cache, so
+   re-running the same circuit shape with fresh parameters (a sampled
+   variational loop) skips layout selection and SWAP routing,
 4. run the state-vector simulator with the requested samples/seed/noise,
 5. return counts, transpilation metrics and the result schemas needed to
    decode.
@@ -22,8 +24,9 @@ from ..core.errors import BackendError
 from ..results.counts import Counts
 from ..simulators.gate.circuit import Circuit
 from ..simulators.gate.noise import NoiseModel
+from ..simulators.gate.kernels import DEFAULT_NOISE_GEMM_THRESHOLD
 from ..simulators.gate.statevector import DEFAULT_MAX_BATCH_MEMORY, StatevectorSimulator
-from ..simulators.gate.transpiler import transpile
+from ..simulators.gate.transpiler import transpile_cached
 from .base import Backend, ExecutionResult
 from .lowering import GATE_LOWERING_RULES, QubitAllocation, lower_operator
 
@@ -117,6 +120,18 @@ class GateBackend(Backend):
             ``workers x cores`` oversubscription that would otherwise erase
             the parallel speedup.  Best-effort without ``threadpoolctl``
             (see :mod:`~repro.simulators.gate.threads`).
+        ``noise_gemm_threshold`` (float ``>= 0`` or ``None``, default
+            :data:`~repro.simulators.gate.kernels.DEFAULT_NOISE_GEMM_THRESHOLD`)
+            Crossover for the batched engine's high-noise GEMM path: once a
+            step's expected sampled error operators per chunk reach the
+            threshold, noise applies as per-column operator GEMMs instead
+            of masked slice updates.  Both paths are seeded-count
+            bit-identical; ``None`` pins the slice path.
+        ``compile_cache_size`` (int ``>= 1`` or ``None``, default ``None``)
+            Bound on the process-global compile caches (fusion templates,
+            bound trajectory programs, transpile templates; see
+            :func:`~repro.simulators.gate.fusion.set_compile_cache_size`).
+            ``None`` keeps the current bound (256 by default).
         ``variational_evaluation`` (``"sampled"`` | ``"expectation"``,
             default ``"sampled"``)
             Consumed by :mod:`repro.workflows.qaoa_optimizer`, not by this
@@ -132,7 +147,7 @@ class GateBackend(Backend):
         circuit, allocation = self.build_circuit(bundle)
 
         target = exec_policy.target
-        transpiled = transpile(
+        transpiled = transpile_cached(
             circuit,
             basis_gates=list(target.basis_gates) if target and target.basis_gates else None,
             coupling_map=list(target.coupling_map) if target and target.coupling_map else None,
@@ -156,6 +171,12 @@ class GateBackend(Backend):
                 pin_blas_threads=bool(
                     exec_policy.options.get("pin_blas_threads", True)
                 ),
+                # Passed through unconverted: the simulator enforces the
+                # number-or-None / positive-int contracts.
+                noise_gemm_threshold=exec_policy.options.get(
+                    "noise_gemm_threshold", DEFAULT_NOISE_GEMM_THRESHOLD
+                ),
+                compile_cache_size=exec_policy.options.get("compile_cache_size"),
             )
             simulation = simulator.run(
                 transpiled.circuit,

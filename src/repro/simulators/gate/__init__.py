@@ -9,11 +9,15 @@ from .density import (
     pauli_terms,
 )
 from .fusion import (
+    DEFAULT_COMPILE_CACHE_SIZE,
     TrajectoryProgram,
+    clear_compile_caches,
+    compile_cache_info,
     compile_trajectory_program,
     compile_trajectory_program_cached,
     parametric_cache_clear,
     parametric_cache_info,
+    set_compile_cache_size,
 )
 from .gates import GateDef, cached_gate_matrix, gate_matrix, get_gate, has_gate, list_gates
 from .noise import NoiseModel
@@ -26,7 +30,8 @@ from .statevector import (
     bits_to_index,
     index_to_bits,
 )
-from .transpiler import Layout, TranspileResult, transpile
+from .kernels import DEFAULT_NOISE_GEMM_THRESHOLD
+from .transpiler import Layout, TranspileResult, transpile, transpile_cached
 from .unitary import circuit_unitary, equal_up_to_global_phase
 
 __all__ = [
@@ -47,8 +52,13 @@ __all__ = [
     "TrajectoryProgram",
     "compile_trajectory_program",
     "compile_trajectory_program_cached",
+    "compile_cache_info",
+    "clear_compile_caches",
+    "set_compile_cache_size",
     "parametric_cache_clear",
     "parametric_cache_info",
+    "DEFAULT_COMPILE_CACHE_SIZE",
+    "DEFAULT_NOISE_GEMM_THRESHOLD",
     "limit_blas_threads",
     "Statevector",
     "StatevectorSimulator",
@@ -57,6 +67,7 @@ __all__ = [
     "index_to_bits",
     "bits_to_index",
     "transpile",
+    "transpile_cached",
     "TranspileResult",
     "Layout",
     "circuit_unitary",

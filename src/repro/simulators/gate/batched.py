@@ -41,10 +41,18 @@ import numpy as np
 
 from ...core.errors import SimulationError
 from .gates import cached_gate_matrix, cached_gate_plan
-from .kernels import MatrixPlan, apply_diagonal_columns, apply_plan_inplace, build_plan
+from .kernels import (
+    DEFAULT_NOISE_GEMM_THRESHOLD,
+    MatrixPlan,
+    apply_diagonal_columns,
+    apply_operator_columns,
+    apply_plan_inplace,
+    build_plan,
+    operator_stack,
+)
 from .statevector import MAX_SIMULATED_QUBITS, Statevector
 
-__all__ = ["BatchedStatevector"]
+__all__ = ["BatchedStatevector", "DEFAULT_NOISE_GEMM_THRESHOLD"]
 
 
 class BatchedStatevector:
@@ -336,25 +344,49 @@ class BatchedStatevector:
         return outcomes
 
     # -- per-shot noise ----------------------------------------------------------
-    def apply_noise_events(self, events, rng: np.random.Generator) -> None:
+    def apply_noise_events(
+        self,
+        events,
+        rng: np.random.Generator,
+        gemm_threshold: Optional[float] = None,
+    ) -> None:
         """Sample and apply a step's depolarizing-error events in order.
 
         Each event independently strikes every trajectory with its rate and
-        draws one of its three operators (a ``(matrix, plan)`` pair acting on
-        ``event.qubits``).  Because one shot's amplitudes form a *strided
-        column* of the batch-last tensor, all struck columns of the step are
-        gathered into a small contiguous buffer *once*, every event
-        transforms its own (tiny, compact) sub-selection in program order
-        with the ordinary kernels, and the union is scattered back — two
-        strided passes total instead of two per event.
+        draws one of its equiprobable operators (a ``(matrix, plan)`` pair
+        acting on ``event.qubits``).  Two execution strategies produce bit-identical
+        amplitudes from identical RNG draws:
+
+        * **slice path** (low rates) — because one shot's amplitudes form a
+          *strided column* of the batch-last tensor, all struck columns of
+          the step are gathered into a small contiguous buffer *once*, every
+          event transforms its own (tiny, compact) sub-selection in program
+          order with the ordinary kernels, and the union is scattered back —
+          two strided passes total instead of two per event.
+        * **GEMM path** (high rates) — each event gathers one operator per
+          column out of its identity-first stack (identity for unstruck
+          shots) and applies them all in a single
+          :func:`~repro.simulators.gate.kernels.apply_operator_columns`
+          broadcast, trading per-branch masked gathers for one full-tensor
+          traversal per event, which wins once most shots are struck.
+
+        *gemm_threshold* selects the path: when the step's expected number
+        of sampled operators in this chunk (``batch x sum(rates)``) reaches
+        it, the GEMM path runs; ``None`` (the default) always keeps the
+        slice path.  Seeded counts never depend on the choice.
         """
+        if gemm_threshold is not None and events:
+            expected = self.batch_size * sum(event.rate for event in events)
+            if expected >= gemm_threshold:
+                self._apply_noise_events_gemm(events, rng)
+                return
         draws = []
         union: Optional[np.ndarray] = None
         for event in events:
             struck = rng.random(self.batch_size) < event.rate
             if not struck.any():
                 continue
-            choice = rng.integers(0, 3, size=self.batch_size)
+            choice = rng.integers(0, len(event.operators), size=self.batch_size)
             draws.append((event, struck, choice))
             union = struck.copy() if union is None else (union | struck)
         if union is None:
@@ -374,6 +406,30 @@ class BatchedStatevector:
                 apply_plan_inplace(tensor, event.operators[k][1], event.qubits)
                 compact[:, pick] = picked
         flat[:, selected] = compact  # scatter back
+
+    def _apply_noise_events_gemm(self, events, rng: np.random.Generator) -> None:
+        """High-rate strategy: one per-column operator GEMM per struck event.
+
+        Consumes the RNG identically to the slice path (one uniform vector
+        per event; one integer vector only when the event struck at all), so
+        a seeded run samples the same errors on the same shots regardless of
+        which path executed.
+        """
+        for event in events:
+            struck = rng.random(self.batch_size) < event.rate
+            if not struck.any():
+                continue
+            choice = rng.integers(0, len(event.operators), size=self.batch_size)
+            stack = event.stack
+            if stack is None or stack.dtype != self.dtype:
+                # Program compiled without a trajectory dtype: build the
+                # stack on the fly (same helper as the compiler, so the
+                # values match a precompiled stack bit for bit).
+                stack = operator_stack(event.operators, self.dtype)
+            # Column c applies operators[choice[c]] when struck, identity
+            # otherwise — the identity-first stack makes that one gather.
+            selection = np.where(struck, choice + 1, 0)
+            apply_operator_columns(self._tensor, stack[selection], event.qubits)
 
     # -- terminal sampling ------------------------------------------------------
     def sample_all(self, rng: np.random.Generator) -> np.ndarray:

@@ -37,26 +37,46 @@ Parametric compilation
 ----------------------
 Variational workloads (QAOA optimisation, parameter-grid sweeps) execute the
 *same circuit structure* hundreds of times with different rotation angles.
-For noiseless circuits the compiler is therefore split into two phases:
+The compiler is therefore split into two phases — for noiseless **and**
+noisy circuits alike:
 
 * :func:`compile_parametric_template` performs the **structural** phase —
   which gates fuse into which step, absorption and same-pair decisions,
   terminal-measurement peeling — and records each fused step as a *recipe*
-  over instruction indices instead of concrete matrices.  The phase depends
-  only on the circuit's structure (names, qubits, clbits), never on the
-  parameter values.
+  over instruction indices instead of concrete matrices.  Each recipe also
+  carries its *noise segments*: the provenance of every sub-block that was
+  fused into the step, which is exactly the information needed to replay
+  noise pushing (``E -> G E G†``) against concrete matrices later.  The
+  phase depends only on the circuit's structure (names, qubits, clbits),
+  never on the parameter values or the noise rates.
 * :meth:`ParametricTemplate.bind` performs the **numeric** phase — it reads
   the concrete parameter values out of a structurally identical circuit and
   multiplies the (small, cached) gate matrices into the fused step matrices.
+  With a ``noise_model`` it additionally replays the noise-pushing algebra
+  segment by segment, producing the same conjugated
+  :class:`NoiseEvent` streams the one-shot noisy compiler builds.
 
-:func:`compile_trajectory_program_cached` memoises the structural phase in a
-module-level LRU keyed on circuit structure, so a variational loop pays for
-fusion analysis once per optimisation instead of once per evaluation.  The
-noiseless :func:`compile_trajectory_program` is itself implemented as
-``template + bind``, so the cached and uncached paths produce **bit-identical
-programs by construction**.  Noisy compilation (whose pushed error events
-depend on the concrete matrices) always takes the full path and bypasses the
-cache.
+Two module-level LRUs memoise the phases:
+
+* the **template cache**, keyed on circuit structure alone, skips the
+  structural phase (a variational loop pays fusion analysis once per
+  optimisation instead of once per evaluation);
+* the **program cache**, keyed on structure + parameter values + effective
+  noise rates + (for noisy programs) trajectory dtype, skips the numeric
+  phase entirely — a noisy QAOA/QEC iteration that re-runs the *same bound
+  circuit* (sweeps over seeds, shot counts, contexts) gets its compiled
+  :class:`TrajectoryProgram` back as a dictionary hit.  The dtype lives in
+  the noisy key because noisy programs carry per-event identity-first
+  operator stacks pre-cast to the engine dtype (step matrices and plans
+  always stay ``complex128``); without it a ``complex64`` program's stacks
+  could leak into a ``complex128`` run.  Noiseless binds are
+  dtype-independent, so their key normalises the dtype away.
+
+:func:`compile_trajectory_program` is itself implemented as
+``template + bind`` for every noise setting, so the cached and uncached
+paths produce **bit-identical programs by construction**.  Cache sizes are
+bounded (:func:`set_compile_cache_size`) and instrumented
+(:func:`compile_cache_info`, :func:`clear_compile_caches`).
 
 The compiled program is engine-agnostic data; execution lives in
 :class:`~repro.simulators.gate.statevector.StatevectorSimulator`.  The same
@@ -70,16 +90,16 @@ executed by many shot chunks concurrently (``trajectory_workers``).
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .circuit import Circuit, Instruction
 from .gates import cached_gate_matrix, cached_gate_plan
-from .kernels import MatrixPlan, build_plan
+from .kernels import MatrixPlan, build_plan, operator_stack
+from .lru import DEFAULT_CACHE_SIZE, BoundedLRU
 from .noise import NoiseModel
 
 __all__ = [
@@ -94,8 +114,12 @@ __all__ = [
     "compile_parametric_template",
     "compile_trajectory_program",
     "compile_trajectory_program_cached",
+    "compile_cache_info",
+    "clear_compile_caches",
+    "set_compile_cache_size",
     "parametric_cache_info",
     "parametric_cache_clear",
+    "DEFAULT_COMPILE_CACHE_SIZE",
 ]
 
 _PAULI_NAMES = ("x", "y", "z")
@@ -110,11 +134,18 @@ class NoiseEvent:
     when Pauli ``k`` (x, y, z) is drawn — the raw Pauli for errors at the end
     of a step, or the Pauli conjugated through the remainder of a fused block
     (a 4x4 on *qubits* when the error was absorbed into a 2q gate).
+
+    ``stack`` optionally holds the identity-first operator stack
+    ``(K + 1, d, d)`` pre-cast to the trajectory dtype — slice 0 is the
+    identity (the "not struck" branch), slice ``k + 1`` is ``operators[k]``.
+    The batched engine's GEMM noise path gathers per-column operators out of
+    it; the slice path and the density oracle never read it.
     """
 
     qubits: Tuple[int, ...]
     rate: float
     operators: Tuple[Tuple[np.ndarray, MatrixPlan], ...]
+    stack: Optional[np.ndarray] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -177,7 +208,13 @@ def _planned(matrix: np.ndarray) -> Tuple[np.ndarray, MatrixPlan]:
     return matrix, build_plan(matrix)
 
 
+@lru_cache(maxsize=4096)
 def _pauli_event(qubit: int, rate: float) -> NoiseEvent:
+    """The raw (unconjugated) per-qubit Pauli error opportunity, memoised.
+
+    Events are immutable and their operators come from the shared gate
+    caches, so one instance per ``(qubit, rate)`` serves every compile.
+    """
     operators = tuple(
         (cached_gate_matrix(name), cached_gate_plan(name)) for name in _PAULI_NAMES
     )
@@ -208,6 +245,12 @@ def _pushed_1q_events(
     """Per-sub-gate error events for a fused 1q run, conjugated to the end."""
     events: List[NoiseEvent] = []
     for remainder in _run_conjugations(matrices):
+        if remainder is _ID2:
+            # The run's last sub-gate has nothing behind it: conjugating by
+            # the identity is exact, so serve the shared raw-Pauli event
+            # instead of multiplying it out and re-analysing the plans.
+            events.append(_pauli_event(qubit, rate))
+            continue
         operators = tuple(
             _planned(remainder @ cached_gate_matrix(name) @ remainder.conj().T)
             for name in _PAULI_NAMES
@@ -292,6 +335,41 @@ class _KronFactor:
     run_b: Tuple[int, ...]
 
 
+# -- noise segments ------------------------------------------------------------------
+# One segment per sub-block fused into a step, in fusion order and in the
+# sub-block's *original* qubit orientation.  Segments are the structural
+# record the noisy bind replays: each knows how to rebuild its own matrix and
+# its own error events from concrete instruction parameters, and the bind
+# loop pushes earlier segments' events through later segments' matrices
+# exactly the way the one-shot noisy compiler did.
+
+
+@dataclass(frozen=True)
+class _RunSegment:
+    """A flushed run of consecutive 1q gates on one qubit."""
+
+    qubits: Tuple[int, ...]
+    run: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _AbsorbSegment:
+    """A 2q gate that absorbed the pending 1q runs of its operands."""
+
+    qubits: Tuple[int, int]
+    run_a: Tuple[int, ...]
+    run_b: Tuple[int, ...]
+    index: int
+
+
+@dataclass(frozen=True)
+class _GateSegment:
+    """A standalone multi-qubit gate (no absorption)."""
+
+    qubits: Tuple[int, ...]
+    index: int
+
+
 @dataclass(frozen=True)
 class StepRecipe:
     """How to rebuild one fused :class:`GateStep` from concrete parameters.
@@ -300,11 +378,15 @@ class StepRecipe:
     ``F_k @ ... @ F_1`` — and reference the circuit's *effective*
     (barrier-free) instruction list by index, so a structurally identical
     circuit with different rotation angles can be re-bound without re-running
-    the fusion analysis.
+    the fusion analysis.  ``segments`` record the same step at sub-block
+    granularity (which runs/absorptions/gates were fused, in which original
+    orientation); the noisy bind replays them to rebuild the step's pushed
+    :class:`NoiseEvent` stream for any noise rates.
     """
 
     qubits: Tuple[int, ...]
     factors: Tuple[object, ...]
+    segments: Tuple[object, ...] = ()
 
 
 @dataclass
@@ -322,20 +404,53 @@ class ParametricTemplate:
     recipes: List[object]
     terminal: Optional[TerminalSample]
 
-    def bind(self, circuit: Circuit) -> TrajectoryProgram:
+    def bind(
+        self,
+        circuit: Circuit,
+        noise_model: Optional[NoiseModel] = None,
+        *,
+        dtype: Optional[np.dtype] = None,
+    ) -> TrajectoryProgram:
         """Produce the concrete :class:`TrajectoryProgram` for *circuit*.
 
         *circuit* must be structurally identical to the template's source
         (same gate names, qubits and clbits instruction by instruction,
         barriers excluded); only its parameter values are read.  Binding the
         source circuit itself reproduces the uncached compilation bit for
-        bit.
+        bit — with or without noise.
+
+        Parameters
+        ----------
+        noise_model:
+            Optional :class:`~repro.simulators.gate.noise.NoiseModel`.  With
+            nonzero depolarizing rates every gate step's noise segments are
+            replayed into the conjugated-through :class:`NoiseEvent` stream
+            of the full noisy compilation (readout error never enters the
+            program; it is applied at execution time).
+        dtype:
+            Optional trajectory dtype.  When given, every noise event gets
+            its identity-first operator ``stack`` pre-cast to that dtype
+            (the batched engine's GEMM noise path reads it without a
+            per-apply conversion).  Step matrices and plans always stay
+            ``complex128`` — the engines cast at apply time — so the dtype
+            never changes sampled counts.
         """
         instructions = _effective_instructions(circuit)
+        if noise_model is not None and noise_model.is_noiseless:
+            noise_model = None
         steps: List[object] = []
         for recipe in self.recipes:
             if isinstance(recipe, StepRecipe):
-                steps.append(_bind_step(recipe, instructions))
+                if noise_model is not None:
+                    step = _bind_step_noisy(
+                        recipe,
+                        instructions,
+                        noise_model.oneq_error,
+                        noise_model.twoq_error,
+                    )
+                else:
+                    step = _bind_step(recipe, instructions)
+                steps.append(_finalize_step_dtype(step, dtype))
             else:
                 steps.append(recipe)
         program = TrajectoryProgram(self.num_qubits, self.num_clbits, steps)
@@ -394,6 +509,127 @@ def _bind_step(recipe: StepRecipe, instructions: List[Instruction]) -> GateStep:
     return GateStep(matrix, recipe.qubits, build_plan(matrix))
 
 
+def _segment_matrix_events(
+    segment: object,
+    instructions: List[Instruction],
+    oneq_rate: float,
+    twoq_rate: float,
+) -> Tuple[np.ndarray, MatrixPlan, List[NoiseEvent]]:
+    """One segment's concrete ``(matrix, plan, own error events)``.
+
+    The matrix is expressed in the segment's *original* qubit orientation;
+    the plan is the one the segment would carry as a standalone step.  The
+    arithmetic mirrors the one-shot noisy compiler operation for operation,
+    so replaying segments reproduces its programs bit for bit.
+    """
+    if isinstance(segment, _RunSegment):
+        matrices = [_matrix128(instructions[k]) for k in segment.run]
+        product = _run_product(matrices)
+        events = (
+            _pushed_1q_events(segment.qubits[0], matrices, oneq_rate)
+            if oneq_rate > 0.0
+            else []
+        )
+        if len(matrices) == 1:
+            # A one-gate run's product is the library matrix itself: serve
+            # its memoised structure plan instead of re-analysing it.
+            inst = instructions[segment.run[0]]
+            return product, cached_gate_plan(inst.name, inst.params), events
+        return product, build_plan(product), events
+    if isinstance(segment, _AbsorbSegment):
+        qa, qb = segment.qubits
+        matrices_a = [_matrix128(instructions[k]) for k in segment.run_a]
+        matrices_b = [_matrix128(instructions[k]) for k in segment.run_b]
+        run_a = _run_product(matrices_a) if matrices_a else _ID2
+        run_b = _run_product(matrices_b) if matrices_b else _ID2
+        events_a = (
+            _pushed_1q_events(qa, matrices_a, oneq_rate)
+            if oneq_rate > 0.0 and matrices_a
+            else []
+        )
+        events_b = (
+            _pushed_1q_events(qb, matrices_b, oneq_rate)
+            if oneq_rate > 0.0 and matrices_b
+            else []
+        )
+        inst = instructions[segment.index]
+        gate = cached_gate_matrix(inst.name, inst.params)
+        fused = np.asarray(gate, dtype=np.complex128) @ np.kron(run_a, run_b)
+        events: List[NoiseEvent] = []
+        events.extend(_absorbed_events(events_a, 0, gate, (qa, qb)))
+        events.extend(_absorbed_events(events_b, 1, gate, (qa, qb)))
+        if twoq_rate > 0.0:
+            events.extend(_pauli_event(q, twoq_rate) for q in (qa, qb))
+        return fused, build_plan(fused), events
+    inst = instructions[segment.index]
+    matrix = cached_gate_matrix(inst.name, inst.params)
+    events = (
+        [_pauli_event(q, twoq_rate) for q in inst.qubits] if twoq_rate > 0.0 else []
+    )
+    return matrix, cached_gate_plan(inst.name, inst.params), events
+
+
+def _bind_step_noisy(
+    recipe: StepRecipe,
+    instructions: List[Instruction],
+    oneq_rate: float,
+    twoq_rate: float,
+) -> GateStep:
+    """Materialise one noisy :class:`GateStep`: matrices *and* pushed events.
+
+    Replays the recipe's segments in fusion order: the first segment seeds
+    the step, every later segment's matrix is oriented to the step's qubit
+    order (SWAP conjugation when reversed) and multiplied on, and the
+    already-accumulated events are pushed through it (``E -> G E G†``)
+    before the later segment's own events are appended — the exact ordering
+    the unfused per-gate channel produces.
+    """
+    segments = recipe.segments
+    matrix, plan, events = _segment_matrix_events(
+        segments[0], instructions, oneq_rate, twoq_rate
+    )
+    for segment in segments[1:]:
+        gate, _, own_events = _segment_matrix_events(
+            segment, instructions, oneq_rate, twoq_rate
+        )
+        if segment.qubits == recipe.qubits:
+            gate = np.asarray(gate, dtype=np.complex128)
+        else:
+            swap = cached_gate_matrix("swap")
+            gate = swap @ gate @ swap
+        matrix = gate @ matrix
+        pushed = _pushed_pair_events(tuple(events), gate, recipe.qubits)
+        events = pushed + list(own_events)
+        plan = None
+    if plan is None:
+        plan = build_plan(matrix)
+    return GateStep(matrix, recipe.qubits, plan, tuple(events))
+
+
+def _finalize_step_dtype(step: GateStep, dtype: Optional[np.dtype]) -> GateStep:
+    """Attach engine-dtype noise operator stacks to a bound step.
+
+    Step matrices and plans always stay ``complex128`` (the engines cast at
+    apply time, so numerics are unchanged); the identity-first event
+    ``stack`` pre-pays the cast that feeds the batched engine's GEMM noise
+    path.  ``dtype=None`` (reference engine, density oracle, exact path) —
+    or a step without events — leaves the step untouched.
+    """
+    if dtype is None or not step.noise:
+        return step
+    dtype = np.dtype(dtype)
+    events = tuple(
+        NoiseEvent(
+            event.qubits,
+            event.rate,
+            event.operators,
+            stack=operator_stack(event.operators, dtype),
+        )
+        for event in step.noise
+    )
+    return GateStep(step.matrix, step.qubits, step.plan, events)
+
+
 def compile_parametric_template(circuit: Circuit) -> ParametricTemplate:
     """Run the structural (parameter-independent) compilation phase.
 
@@ -420,7 +656,11 @@ def compile_parametric_template(circuit: Circuit) -> ParametricTemplate:
         run = pending.pop(qubit, None)
         if run:
             recipes.append(
-                StepRecipe((qubit,), tuple(_GateFactor(k) for k in run))
+                StepRecipe(
+                    (qubit,),
+                    tuple(_GateFactor(k) for k in run),
+                    (_RunSegment((qubit,), tuple(run)),),
+                )
             )
 
     def append_gate(recipe: StepRecipe) -> None:
@@ -436,7 +676,11 @@ def compile_parametric_template(circuit: Circuit) -> ParametricTemplate:
                     extra = recipe.factors
                 else:
                     extra = tuple(_swapped_factor(f) for f in recipe.factors)
-                recipes[-1] = StepRecipe(prev.qubits, prev.factors + extra)
+                recipes[-1] = StepRecipe(
+                    prev.qubits,
+                    prev.factors + extra,
+                    prev.segments + recipe.segments,
+                )
                 return
         recipes.append(recipe)
 
@@ -465,13 +709,23 @@ def compile_parametric_template(circuit: Circuit) -> ParametricTemplate:
             run_a = tuple(pending.pop(qa, ()))
             run_b = tuple(pending.pop(qb, ()))
             append_gate(
-                StepRecipe((qa, qb), (_KronFactor(run_a, run_b), _GateFactor(index)))
+                StepRecipe(
+                    (qa, qb),
+                    (_KronFactor(run_a, run_b), _GateFactor(index)),
+                    (_AbsorbSegment((qa, qb), run_a, run_b, index),),
+                )
             )
             continue
 
         for qubit in inst.qubits:
             flush(qubit)
-        append_gate(StepRecipe(inst.qubits, (_GateFactor(index),)))
+        append_gate(
+            StepRecipe(
+                inst.qubits,
+                (_GateFactor(index),),
+                (_GateSegment(inst.qubits, index),),
+            )
+        )
     for qubit in sorted(pending):
         flush(qubit)
 
@@ -530,13 +784,15 @@ def _peel_terminal(
     return steps, None
 
 
-# -- template cache ------------------------------------------------------------------
+# -- template + program caches -------------------------------------------------------
 
-_TEMPLATE_CACHE_MAXSIZE = 128
-_TEMPLATE_CACHE: "OrderedDict[tuple, ParametricTemplate]" = OrderedDict()
-_TEMPLATE_CACHE_LOCK = threading.Lock()
-_template_cache_hits = 0
-_template_cache_misses = 0
+#: Default bound on each compile cache (templates and bound programs alike);
+#: override per run with the ``compile_cache_size`` exec-policy knob /
+#: :func:`set_compile_cache_size`.
+DEFAULT_COMPILE_CACHE_SIZE = DEFAULT_CACHE_SIZE
+
+_TEMPLATE_CACHE = BoundedLRU(DEFAULT_COMPILE_CACHE_SIZE)
+_PROGRAM_CACHE = BoundedLRU(DEFAULT_COMPILE_CACHE_SIZE)
 
 
 def _structure_key(circuit: Circuit) -> tuple:
@@ -552,58 +808,134 @@ def _structure_key(circuit: Circuit) -> tuple:
     )
 
 
-def compile_trajectory_program_cached(
-    circuit: Circuit, noise_model: Optional[NoiseModel] = None
-) -> TrajectoryProgram:
-    """Compile *circuit* through the structure-keyed parametric LRU cache.
+def _params_key(circuit: Circuit) -> tuple:
+    """Hashable tuple of every effective instruction's parameter values."""
+    return tuple(
+        inst.params for inst in circuit.instructions if inst.name != "barrier"
+    )
 
-    Noiseless circuits whose structure (gate names, qubits, clbits — not
-    parameter values) was compiled before skip the fusion analysis and only
-    re-bind the fused matrices, so a variational loop pays the structural
-    phase once per optimisation.  Cached and uncached compilations produce
-    bit-identical programs (the uncached noiseless path is the same
-    ``template + bind``).  Circuits with an effective noise model fall back
-    to :func:`compile_trajectory_program` uncached, because pushed error
-    events bake concrete matrices into the program.
+
+def _noise_key(noise_model: Optional[NoiseModel]) -> Optional[Tuple[float, float]]:
+    """The rates that enter a compiled program (readout error never does)."""
+    if noise_model is None or noise_model.is_noiseless:
+        return None
+    return (noise_model.oneq_error, noise_model.twoq_error)
+
+
+def compile_trajectory_program_cached(
+    circuit: Circuit,
+    noise_model: Optional[NoiseModel] = None,
+    *,
+    dtype: Optional[np.dtype] = None,
+) -> TrajectoryProgram:
+    """Compile *circuit* through the two-level structure-keyed LRU caches.
+
+    Level 1 — the **program cache**: an exact re-run (same structure, same
+    parameter values, same effective noise rates, same trajectory *dtype*)
+    returns the previously bound, immutable :class:`TrajectoryProgram`
+    without any numeric work; this is what makes warm noisy QAOA/QEC
+    iterations cache-hit end to end.  Level 2 — the **template cache**: a
+    structurally identical circuit with *different* parameters skips the
+    fusion analysis and only re-binds matrices (and, for noisy models, the
+    pushed error events).  Cached and uncached compilations produce
+    bit-identical programs for every noise setting, because the uncached
+    :func:`compile_trajectory_program` is the same ``template + bind``.
     """
-    global _template_cache_hits, _template_cache_misses
-    if noise_model is not None and not noise_model.is_noiseless:
-        return compile_trajectory_program(circuit, noise_model)
-    key = _structure_key(circuit)
-    with _TEMPLATE_CACHE_LOCK:
-        template = _TEMPLATE_CACHE.get(key)
-        if template is not None:
-            _TEMPLATE_CACHE.move_to_end(key)
-            _template_cache_hits += 1
+    if noise_model is not None and noise_model.is_noiseless:
+        noise_model = None
+    structure = _structure_key(circuit)
+    noise_key = _noise_key(noise_model)
+    # dtype only shapes noisy programs (their pre-cast operator stacks); a
+    # noiseless bind is dtype-independent, so normalising the key component
+    # lets the exact path and the batched engine share one entry.
+    dtype_key = (
+        np.dtype(dtype).str if dtype is not None and noise_key is not None else None
+    )
+    program_key = (structure, _params_key(circuit), noise_key, dtype_key)
+    program = _PROGRAM_CACHE.lookup(program_key)
+    if program is not None:
+        return program
+    template = _TEMPLATE_CACHE.lookup(structure)
     if template is None:
         template = compile_parametric_template(circuit)
-        with _TEMPLATE_CACHE_LOCK:
-            _template_cache_misses += 1
-            _TEMPLATE_CACHE[key] = template
-            _TEMPLATE_CACHE.move_to_end(key)
-            while len(_TEMPLATE_CACHE) > _TEMPLATE_CACHE_MAXSIZE:
-                _TEMPLATE_CACHE.popitem(last=False)
-    return template.bind(circuit)
+        _TEMPLATE_CACHE.store(structure, template)
+    program = template.bind(circuit, noise_model, dtype=dtype)
+    _PROGRAM_CACHE.store(program_key, program)
+    return program
+
+
+def set_compile_cache_size(maxsize: int) -> None:
+    """Bound the template and program LRUs (and the transpile cache) at *maxsize*.
+
+    Entries beyond the new bound are evicted oldest-first immediately.  The
+    exec-policy knob ``compile_cache_size`` routes here through
+    :class:`~repro.simulators.gate.statevector.StatevectorSimulator`; the
+    default is :data:`DEFAULT_COMPILE_CACHE_SIZE`.
+    """
+    if not isinstance(maxsize, int) or isinstance(maxsize, bool) or maxsize < 1:
+        raise ValueError(f"compile cache size must be a positive int, got {maxsize!r}")
+    _TEMPLATE_CACHE.set_maxsize(maxsize)
+    _PROGRAM_CACHE.set_maxsize(maxsize)
+    from .transpiler import cache as transpile_cache  # local: import cycle
+
+    transpile_cache.set_transpile_cache_size(maxsize)
+
+
+def compile_cache_info() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/entry counters of every compile-side cache.
+
+    Returns a mapping with three sections: ``"template"`` (structural fusion
+    templates), ``"program"`` (fully bound trajectory programs) and
+    ``"transpile"`` (the transpiler's structure-keyed routing templates).
+    """
+    info = {
+        "template": _TEMPLATE_CACHE.info(),
+        "program": _PROGRAM_CACHE.info(),
+    }
+    from .transpiler import cache as transpile_cache  # local: import cycle
+
+    info["transpile"] = transpile_cache.transpile_cache_info()
+    return info
+
+
+def clear_compile_caches() -> None:
+    """Empty the template, program and transpile caches and reset counters."""
+    _TEMPLATE_CACHE.clear()
+    _PROGRAM_CACHE.clear()
+    _pauli_event.cache_clear()
+    from .transpiler import cache as transpile_cache  # local: import cycle
+
+    transpile_cache.clear_transpile_cache()
+
+
+# A replaced gate definition invalidates every compiled artifact built from
+# the old matrices; gates.register_gate fires this hook.
+from .gates import register_cache_invalidation_hook as _register_invalidation
+
+_register_invalidation(clear_compile_caches)
 
 
 def parametric_cache_info() -> Dict[str, int]:
-    """Hit/miss/size counters of the parametric template cache."""
-    with _TEMPLATE_CACHE_LOCK:
-        return {
-            "hits": _template_cache_hits,
-            "misses": _template_cache_misses,
-            "size": len(_TEMPLATE_CACHE),
-            "maxsize": _TEMPLATE_CACHE_MAXSIZE,
-        }
+    """Aggregated compile-cache counters (pre-PR 5 compatibility view).
+
+    ``hits`` counts every compile served without structural analysis —
+    template re-binds *and* whole-program cache hits; ``misses`` counts
+    structural (template) misses; ``size`` is the template entry count.  Use
+    :func:`compile_cache_info` for the per-cache breakdown.
+    """
+    template = _TEMPLATE_CACHE.info()
+    program = _PROGRAM_CACHE.info()
+    return {
+        "hits": template["hits"] + program["hits"],
+        "misses": template["misses"],
+        "size": template["entries"],
+        "maxsize": template["maxsize"],
+    }
 
 
 def parametric_cache_clear() -> None:
-    """Empty the parametric template cache and reset its counters."""
-    global _template_cache_hits, _template_cache_misses
-    with _TEMPLATE_CACHE_LOCK:
-        _TEMPLATE_CACHE.clear()
-        _template_cache_hits = 0
-        _template_cache_misses = 0
+    """Empty every compile-side cache (alias of :func:`clear_compile_caches`)."""
+    clear_compile_caches()
 
 
 # -- full compilation ---------------------------------------------------------------
@@ -638,110 +970,12 @@ def compile_trajectory_program(
 
     Notes
     -----
-    The noiseless path is implemented as
-    ``compile_parametric_template(circuit).bind(circuit)``, so it and the
-    LRU-backed :func:`compile_trajectory_program_cached` produce identical
-    programs by construction.
+    Every path — noiseless *and* noisy — is implemented as
+    ``compile_parametric_template(circuit).bind(circuit, noise_model)``, so
+    this function and the LRU-backed
+    :func:`compile_trajectory_program_cached` produce identical programs by
+    construction; the noisy bind replays the recorded noise segments into
+    the same conjugated event streams the one-shot compiler used to build
+    inline.
     """
-    if noise_model is None or noise_model.is_noiseless:
-        return compile_parametric_template(circuit).bind(circuit)
-    oneq_rate = noise_model.oneq_error
-    twoq_rate = noise_model.twoq_error
-
-    steps: List[object] = []
-    pending: Dict[int, List[np.ndarray]] = {}
-
-    def take(qubit: int) -> Tuple[np.ndarray, List[NoiseEvent]]:
-        """Pop a pending run as (product, pushed events); identity if empty."""
-        matrices = pending.pop(qubit, None)
-        if not matrices:
-            return _ID2, []
-        events = _pushed_1q_events(qubit, matrices, oneq_rate) if oneq_rate > 0 else []
-        return _run_product(matrices), events
-
-    def flush(qubit: int) -> None:
-        if qubit in pending:
-            product, events = take(qubit)
-            steps.append(GateStep(product, (qubit,), build_plan(product), tuple(events)))
-
-    def append_gate(step: GateStep) -> None:
-        """Append a gate step, fusing into a trailing same-pair 2q step.
-
-        The earlier step's error events are pushed through the later gate
-        (``E -> G E G†``, exact), then the later gate's own events follow —
-        the same ordering the unfused channel produces.
-        """
-        if len(step.qubits) == 2 and steps:
-            prev = steps[-1]
-            if (
-                isinstance(prev, GateStep)
-                and len(prev.qubits) == 2
-                and set(prev.qubits) == set(step.qubits)
-            ):
-                if step.qubits == prev.qubits:
-                    gate = np.asarray(step.matrix, dtype=np.complex128)
-                else:
-                    swap = cached_gate_matrix("swap")
-                    gate = swap @ step.matrix @ swap
-                combined = gate @ prev.matrix
-                events = tuple(_pushed_pair_events(prev.noise, gate, prev.qubits))
-                events += step.noise
-                steps[-1] = GateStep(
-                    combined, prev.qubits, build_plan(combined), events
-                )
-                return
-        steps.append(step)
-
-    for inst in circuit.instructions:
-        name = inst.name
-        if name == "barrier":
-            continue
-        if name == "measure":
-            flush(inst.qubits[0])
-            steps.append(MeasureStep(inst.qubits[0], inst.clbits[0]))
-            continue
-        if name == "reset":
-            flush(inst.qubits[0])
-            steps.append(ResetStep(inst.qubits[0]))
-            continue
-        if inst.num_qubits == 1:
-            matrix = np.asarray(cached_gate_matrix(name, inst.params), dtype=np.complex128)
-            pending.setdefault(inst.qubits[0], []).append(matrix)
-            continue
-
-        gate_matrix_ = cached_gate_matrix(name, inst.params)
-        gate_plan = cached_gate_plan(name, inst.params)
-        qa, qb = (inst.qubits[0], inst.qubits[1]) if inst.num_qubits == 2 else (-1, -1)
-        absorb = (
-            inst.num_qubits == 2
-            and abs(qa - qb) == 1
-            and not gate_plan.is_diagonal
-            and (qa in pending or qb in pending)
-        )
-        if absorb:
-            # Fold the pending 1q runs into the 2q gate: one GEMM instead of
-            # up to three traversals.  Their noise is pushed through the gate.
-            run_a, events_a = take(qa)
-            run_b, events_b = take(qb)
-            fused = np.asarray(gate_matrix_, dtype=np.complex128) @ np.kron(run_a, run_b)
-            events: List[NoiseEvent] = []
-            events.extend(_absorbed_events(events_a, 0, gate_matrix_, (qa, qb)))
-            events.extend(_absorbed_events(events_b, 1, gate_matrix_, (qa, qb)))
-            if twoq_rate > 0.0:
-                events.extend(_pauli_event(q, twoq_rate) for q in (qa, qb))
-            append_gate(GateStep(fused, (qa, qb), build_plan(fused), tuple(events)))
-            continue
-
-        for qubit in inst.qubits:
-            flush(qubit)
-        noise_events: Tuple[NoiseEvent, ...] = ()
-        if twoq_rate > 0.0:
-            noise_events = tuple(_pauli_event(q, twoq_rate) for q in inst.qubits)
-        append_gate(GateStep(gate_matrix_, inst.qubits, gate_plan, noise_events))
-    for qubit in sorted(pending):
-        flush(qubit)
-
-    kept, terminal = _peel_terminal(steps, circuit)
-    program = TrajectoryProgram(circuit.num_qubits, circuit.num_clbits, kept)
-    program.terminal = terminal
-    return program
+    return compile_parametric_template(circuit).bind(circuit, noise_model)

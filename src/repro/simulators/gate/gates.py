@@ -65,6 +65,16 @@ class GateDef:
 
 _GATES: Dict[str, GateDef] = {}
 
+# Higher layers (the fusion compiler, the transpile cache) memoise artifacts
+# built from gate definitions; they register their clear functions here so a
+# replaced definition cannot serve stale compiled matrices.
+_CACHE_INVALIDATION_HOOKS = []
+
+
+def register_cache_invalidation_hook(hook) -> None:
+    """Register a zero-argument callable run whenever a gate is (re)registered."""
+    _CACHE_INVALIDATION_HOOKS.append(hook)
+
 
 def register_gate(
     name: str,
@@ -81,9 +91,12 @@ def register_gate(
         raise SimulationError(f"gate {name!r} already registered")
     definition = GateDef(name, num_qubits, num_params, matrix_fn, self_inverse, description)
     _GATES[name] = definition
-    # A replaced definition must not serve stale matrices or plans.
+    # A replaced definition must not serve stale matrices or plans — nor
+    # stale compiled programs / transpile templates built from them.
     _cached_matrix.cache_clear()
     _cached_plan.cache_clear()
+    for hook in _CACHE_INVALIDATION_HOOKS:
+        hook()
     return definition
 
 

@@ -50,7 +50,14 @@ class NoiseModel:
     def apply_gate_noise(
         self, state: "Statevector", instruction: "Instruction", rng: np.random.Generator
     ) -> None:
-        """Apply per-qubit depolarizing noise after *instruction* (in place)."""
+        """Apply per-qubit depolarizing noise after *instruction* (in place).
+
+        The unfused per-instruction form of the channel.  The engines no
+        longer call this — every trajectory engine executes compiled
+        programs whose :class:`~repro.simulators.gate.fusion.NoiseEvent`
+        streams encode the same channel — but it remains the executable
+        definition the fusion property tests compare those streams against.
+        """
         if instruction.name in ("barrier", "measure", "reset"):
             return
         rate = self.oneq_error if instruction.num_qubits == 1 else self.twoq_error

@@ -27,9 +27,12 @@ The simulator picks one of three paths per run:
   batch with its own ``SeedSequence``-spawned RNG stream, and the
   ``trajectory_workers`` knob dispatches chunks across a thread pool
   (seeded counts are bit-identical for every worker count).
-* **reference trajectories** — the per-shot Python loop, kept as the
-  executable specification the batched engine is tested against
-  (``trajectory_engine="reference"``).
+* **reference trajectories** — a per-shot Python loop over the *same*
+  compiled program, with scalar RNG draws; kept as the executable
+  specification of per-trajectory semantics that the batched engine's
+  vectorised execution is tested against (``trajectory_engine="reference"``;
+  the compiler itself is validated against the density oracle and the
+  unfused specification in the fusion property tests).
 
 A fourth engine sits outside the sampling family:
 ``trajectory_engine="density"`` routes the whole run through the exact
@@ -66,7 +69,7 @@ from ...core.errors import SimulationError
 from ...results.counts import Counts
 from .circuit import Circuit
 from .gates import cached_gate_matrix, cached_gate_plan
-from .kernels import apply_matrix_inplace
+from .kernels import DEFAULT_NOISE_GEMM_THRESHOLD, apply_matrix_inplace
 from .noise import NoiseModel
 
 __all__ = [
@@ -368,8 +371,9 @@ class StatevectorSimulator:
         ``"batched"`` (default) compiles the circuit once (1q-run fusion,
         noise pushing, terminal-measurement batching — see
         :mod:`~repro.simulators.gate.fusion`) and advances all shots of a
-        chunk simultaneously; ``"reference"`` runs the per-shot Python loop
-        kept as the executable specification.  Both sample the same
+        chunk simultaneously; ``"reference"`` executes the same compiled
+        program one shot at a time with scalar RNG draws, the executable
+        specification of per-trajectory semantics.  Both sample the same
         distributions, but their RNG consumption patterns differ, so
         per-seed counts are only identical within one engine.
         ``"density"`` routes **every** run through the exact
@@ -402,6 +406,23 @@ class StatevectorSimulator:
         guard of :mod:`~repro.simulators.gate.threads` (best-effort).  Has
         no effect on single-worker runs, and never changes sampled counts —
         it only controls intra-GEMM parallelism.
+    noise_gemm_threshold:
+        Crossover for the batched engine's high-noise GEMM path (float
+        ``>= 0``, or ``None`` to always use the masked-slice path; default
+        :data:`~repro.simulators.gate.batched.DEFAULT_NOISE_GEMM_THRESHOLD`).
+        When a gate step's expected number of sampled error operators in one
+        chunk (``batch x sum(event rates)``) reaches the threshold, its
+        events apply as per-column operator GEMMs instead of per-branch
+        masked slice updates.  The two paths consume identical RNG draws
+        and produce bit-identical amplitudes, so seeded counts never depend
+        on this knob — it is purely a throughput crossover.
+    compile_cache_size:
+        Optional bound on the module-level compile caches (fusion templates,
+        bound trajectory programs, transpile templates; default
+        :data:`~repro.simulators.gate.fusion.DEFAULT_COMPILE_CACHE_SIZE`
+        entries each).  The caches are process-global, so the most recent
+        configuration wins; ``None`` (default) leaves the current bound
+        untouched.
     trajectory_workers:
         Number of threads executing the batched engine's shot chunks
         (``int >= 1``, or ``"auto"`` for the host CPU count; default ``1``).
@@ -429,6 +450,8 @@ class StatevectorSimulator:
         trajectory_workers: Union[int, str] = 1,
         density_sampling: str = "multinomial",
         pin_blas_threads: bool = True,
+        noise_gemm_threshold: Union[float, int, None] = DEFAULT_NOISE_GEMM_THRESHOLD,
+        compile_cache_size: Optional[int] = None,
     ):
         if trajectory_engine not in ("batched", "reference", "density"):
             raise SimulationError(
@@ -460,6 +483,30 @@ class StatevectorSimulator:
             raise SimulationError(
                 f"pin_blas_threads must be a bool, got {pin_blas_threads!r}"
             )
+        if noise_gemm_threshold is not None:
+            if isinstance(noise_gemm_threshold, bool) or not isinstance(
+                noise_gemm_threshold, (int, float)
+            ):
+                raise SimulationError(
+                    f"noise_gemm_threshold must be a number >= 0 or None, "
+                    f"got {noise_gemm_threshold!r}"
+                )
+            noise_gemm_threshold = float(noise_gemm_threshold)
+            if noise_gemm_threshold < 0.0:
+                raise SimulationError("noise_gemm_threshold must be >= 0 (or None)")
+        if compile_cache_size is not None:
+            from .fusion import set_compile_cache_size  # local: import cycle
+
+            if isinstance(compile_cache_size, bool) or not isinstance(
+                compile_cache_size, int
+            ):
+                raise SimulationError(
+                    f"compile_cache_size must be a positive int or None, "
+                    f"got {compile_cache_size!r}"
+                )
+            if compile_cache_size < 1:
+                raise SimulationError("compile_cache_size must be >= 1 (or None)")
+            set_compile_cache_size(compile_cache_size)
         self.noise_model = noise_model
         self.max_batch_memory = max_batch_memory
         self.trajectory_engine = trajectory_engine
@@ -467,6 +514,8 @@ class StatevectorSimulator:
         self.trajectory_workers = trajectory_workers
         self.density_sampling = density_sampling
         self.pin_blas_threads = pin_blas_threads
+        self.noise_gemm_threshold = noise_gemm_threshold
+        self.compile_cache_size = compile_cache_size
 
     def run(
         self,
@@ -642,7 +691,9 @@ class StatevectorSimulator:
         noise = self.noise_model
         if noise is not None and noise.is_noiseless:
             noise = None
-        program = compile_trajectory_program_cached(circuit, noise)
+        program = compile_trajectory_program_cached(
+            circuit, noise, dtype=np.dtype(self.trajectory_dtype)
+        )
         implicit = program.terminal is not None and program.terminal.implicit
         batch_size = self._batch_size_for(circuit.num_qubits, shots)
         sizes = [batch_size] * (shots // batch_size)
@@ -708,7 +759,9 @@ class StatevectorSimulator:
             if isinstance(step, GateStep):
                 state.apply_matrix(step.matrix, step.qubits, plan=step.plan)
                 if step.noise:
-                    state.apply_noise_events(step.noise, rng)
+                    state.apply_noise_events(
+                        step.noise, rng, gemm_threshold=self.noise_gemm_threshold
+                    )
             elif isinstance(step, MeasureStep):
                 outcomes = state.measure(step.qubit, rng)
                 if noise is not None:
@@ -751,43 +804,70 @@ class StatevectorSimulator:
     def _run_trajectories_reference(
         self, circuit: Circuit, shots: int, rng: np.random.Generator
     ) -> Tuple[Counts, Statevector, Dict[str, object]]:
-        """Per-shot reference implementation (executable specification).
+        """Per-shot reference implementation (scalar executable specification).
 
-        Re-runs the full circuit once per shot in Python.  Kept for testing
-        the batched engine's distributions and for debugging; every
-        production caller goes through the batched engine.
+        Executes the *same* compiled :class:`TrajectoryProgram` as the
+        batched engine — compiled through the shared structure-keyed cache,
+        noise model included — but one shot at a time with scalar RNG draws:
+        one uniform per error opportunity, one projective collapse per
+        mid-circuit measurement, one joint draw for the terminal block.
+        Kept for differentially testing the batched engine's *vectorised
+        execution* (the compiler itself is validated against the density
+        oracle and the unfused specification in the fusion property tests);
+        every production caller goes through the batched engine.
         """
+        from .fusion import (  # local: import cycle
+            GateStep,
+            MeasureStep,
+            ResetStep,
+            compile_trajectory_program_cached,
+        )
+
         extra: Dict[str, object] = {"trajectory_engine": "reference"}
         if shots == 0:
             extra["implicit_measurement"] = False
             return Counts({}), Statevector(circuit.num_qubits), extra
-        implicit = not circuit.has_measurements()
+        noise = self.noise_model
+        if noise is not None and noise.is_noiseless:
+            noise = None
+        program = compile_trajectory_program_cached(circuit, noise)
+        implicit = program.terminal is not None and program.terminal.implicit
+        n = program.num_qubits
         samples: List[str] = []
-        final_state = Statevector(circuit.num_qubits)
+        final_state = Statevector(n)
         for _ in range(shots):
-            state = Statevector(circuit.num_qubits)
-            clbits = ["0"] * circuit.num_clbits
-            for inst in circuit.instructions:
-                if inst.name == "barrier":
-                    continue
-                if inst.name == "measure":
-                    outcome = state.measure_qubit(inst.qubits[0], rng)
-                    if self.noise_model is not None:
-                        outcome = self.noise_model.apply_readout_error(outcome, rng)
-                    clbits[inst.clbits[0]] = str(outcome)
-                    continue
-                if inst.name == "reset":
-                    state.reset_qubit(inst.qubits[0], rng)
-                    continue
-                state.apply_gate(inst.name, inst.qubits, inst.params)
-                if self.noise_model is not None:
-                    self.noise_model.apply_gate_noise(state, inst, rng)
-            if implicit:
+            state = Statevector(n)
+            clbits = ["0"] * program.bits_width
+            for step in program.steps:
+                if isinstance(step, GateStep):
+                    state.apply_matrix(step.matrix, step.qubits, plan=step.plan)
+                    for event in step.noise:
+                        if rng.random() < event.rate:
+                            drawn = int(rng.integers(0, len(event.operators)))
+                            matrix, plan = event.operators[drawn]
+                            state.apply_matrix(matrix, event.qubits, plan=plan)
+                elif isinstance(step, MeasureStep):
+                    outcome = state.measure_qubit(step.qubit, rng)
+                    if noise is not None:
+                        outcome = noise.apply_readout_error(outcome, rng)
+                    clbits[step.clbit] = str(outcome)
+                elif isinstance(step, ResetStep):
+                    state.reset_qubit(step.qubit, rng)
+            if program.terminal is not None:
                 probs = state.probabilities()
                 index = int(rng.choice(len(probs), p=probs / probs.sum()))
-                samples.append(index_to_bits(index, circuit.num_qubits))
-            else:
-                samples.append("".join(clbits))
+                for qubit, clbit in program.terminal.pairs:
+                    bit = (index >> (n - 1 - qubit)) & 1
+                    if noise is not None and not implicit:
+                        bit = noise.apply_readout_error(bit, rng)
+                    clbits[clbit] = str(bit)
+                if not implicit:
+                    # Collapse onto the sampled outcome for the documented
+                    # "final_trajectory" statevector contract; the implicit
+                    # sample never collapses (pre-measurement contract).
+                    self._collapse_terminal(state, program.terminal.pairs, index)
+            samples.append("".join(clbits))
             final_state = state
         extra["implicit_measurement"] = implicit
+        extra["compiled_steps"] = len(program.steps)
         return Counts.from_samples(samples), final_state, extra

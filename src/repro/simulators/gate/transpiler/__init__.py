@@ -1,5 +1,11 @@
 """Transpiler passes for the gate-model substrate."""
 
+from .cache import (
+    clear_transpile_cache,
+    set_transpile_cache_size,
+    transpile_cache_info,
+    transpile_cached,
+)
 from .decompose import decompose_to_basis, decompose_1q_matrix, zyz_angles
 from .layout import Layout, coupling_graph, greedy_layout, trivial_layout
 from .optimize import cancel_inverse_pairs, merge_rotations, optimize_circuit, remove_identities
@@ -8,6 +14,10 @@ from .routing import RoutingResult, route_circuit
 
 __all__ = [
     "transpile",
+    "transpile_cached",
+    "transpile_cache_info",
+    "clear_transpile_cache",
+    "set_transpile_cache_size",
     "TranspileResult",
     "decompose_to_basis",
     "decompose_1q_matrix",

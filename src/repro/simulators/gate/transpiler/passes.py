@@ -48,6 +48,74 @@ class TranspileResult:
     metrics: Dict[str, float] = field(default_factory=dict)
 
 
+def _pre_route(circuit: Circuit) -> Circuit:
+    """Stage 1: normalise to <=2-qubit gates so routing understands the circuit."""
+    return decompose_to_basis(circuit, _PRE_ROUTING_BASIS)
+
+
+def _choose_layout(
+    working: Circuit,
+    coupling_map: Optional[Sequence[Tuple[int, int]]],
+    optimization_level: int,
+) -> Layout:
+    """Stage 2: default layout selection (trivial below level 2, greedy above)."""
+    if coupling_map is not None and optimization_level >= 2:
+        return greedy_layout(working.num_qubits, coupling_map)
+    return trivial_layout(working.num_qubits)
+
+
+def _translate_and_optimize(
+    routed: Circuit,
+    basis_gates: Optional[Sequence[str]],
+    optimization_level: int,
+) -> Circuit:
+    """Stages 4-5: basis translation (SWAPs included) and peephole passes."""
+    translated = decompose_to_basis(routed, basis_gates) if basis_gates else routed
+    if optimization_level >= 1:
+        translated = optimize_circuit(translated)
+    if optimization_level >= 2:
+        translated = optimize_circuit(translated, iterations=8)
+    return translated
+
+
+def _finish_result(
+    circuit: Circuit,
+    translated: Circuit,
+    *,
+    initial_layout: Layout,
+    final_layout: Layout,
+    num_swaps_inserted: int,
+    basis_gates: Optional[Sequence[str]],
+    coupling_map: Optional[Sequence[Tuple[int, int]]],
+    optimization_level: int,
+) -> TranspileResult:
+    """Stamp metadata/metrics and assemble the :class:`TranspileResult`."""
+    translated.metadata.update(
+        {
+            "basis_gates": list(basis_gates) if basis_gates else None,
+            "coupling_map": [list(e) for e in coupling_map] if coupling_map else None,
+            "optimization_level": optimization_level,
+        }
+    )
+    metrics = {
+        "original_depth": float(circuit.depth()),
+        "original_twoq": float(circuit.num_twoq_gates()),
+        "depth": float(translated.depth()),
+        "twoq": float(translated.num_twoq_gates()),
+        "gates": float(translated.num_gates()),
+        "swaps_inserted": float(num_swaps_inserted),
+    }
+    return TranspileResult(
+        circuit=translated,
+        initial_layout=initial_layout,
+        final_layout=final_layout,
+        basis_gates=tuple(basis_gates) if basis_gates else None,
+        coupling_map=tuple(tuple(e) for e in coupling_map) if coupling_map else None,
+        num_swaps_inserted=num_swaps_inserted,
+        metrics=metrics,
+    )
+
+
 def transpile(
     circuit: Circuit,
     *,
@@ -60,54 +128,26 @@ def transpile(
     if not 0 <= optimization_level <= 3:
         raise TranspilerError("optimization_level must be between 0 and 3")
 
-    original_depth = circuit.depth()
-    original_twoq = circuit.num_twoq_gates()
-
     # 1. normalise to <=2-qubit gates so routing has something it understands.
-    working = decompose_to_basis(circuit, _PRE_ROUTING_BASIS)
+    working = _pre_route(circuit)
 
     # 2. layout selection.
     if initial_layout is None:
-        if coupling_map is not None and optimization_level >= 2:
-            initial_layout = greedy_layout(working.num_qubits, coupling_map)
-        else:
-            initial_layout = trivial_layout(working.num_qubits)
+        initial_layout = _choose_layout(working, coupling_map, optimization_level)
 
     # 3. routing.
     routing = route_circuit(working, coupling_map, initial_layout=initial_layout)
-    routed = routing.circuit
 
-    # 4. basis translation (after routing so inserted SWAPs are translated too).
-    translated = decompose_to_basis(routed, basis_gates) if basis_gates else routed
+    # 4-5. basis translation and optimisation.
+    translated = _translate_and_optimize(routing.circuit, basis_gates, optimization_level)
 
-    # 5. optimisation.
-    if optimization_level >= 1:
-        translated = optimize_circuit(translated)
-    if optimization_level >= 2:
-        translated = optimize_circuit(translated, iterations=8)
-
-    translated.metadata.update(
-        {
-            "basis_gates": list(basis_gates) if basis_gates else None,
-            "coupling_map": [list(e) for e in coupling_map] if coupling_map else None,
-            "optimization_level": optimization_level,
-        }
-    )
-
-    metrics = {
-        "original_depth": float(original_depth),
-        "original_twoq": float(original_twoq),
-        "depth": float(translated.depth()),
-        "twoq": float(translated.num_twoq_gates()),
-        "gates": float(translated.num_gates()),
-        "swaps_inserted": float(routing.num_swaps_inserted),
-    }
-    return TranspileResult(
-        circuit=translated,
+    return _finish_result(
+        circuit,
+        translated,
         initial_layout=routing.initial_layout,
         final_layout=routing.final_layout,
-        basis_gates=tuple(basis_gates) if basis_gates else None,
-        coupling_map=tuple(tuple(e) for e in coupling_map) if coupling_map else None,
         num_swaps_inserted=routing.num_swaps_inserted,
-        metrics=metrics,
+        basis_gates=basis_gates,
+        coupling_map=coupling_map,
+        optimization_level=optimization_level,
     )

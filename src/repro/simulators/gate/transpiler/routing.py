@@ -72,15 +72,27 @@ def route_circuit(
     # Pre-compute all-pairs shortest paths once; devices are small graphs.
     shortest = dict(nx.all_pairs_shortest_path(graph))
 
+    # Labels are carried through verbatim (inserted SWAPs stay unlabelled):
+    # the transpile cache uses them to record which routed instruction came
+    # from which input instruction.
     for inst in circuit.instructions:
         if inst.name == "barrier":
-            routed.append("barrier", [layout.physical(q) for q in inst.qubits])
+            routed.append(
+                "barrier", [layout.physical(q) for q in inst.qubits], label=inst.label
+            )
             continue
         if inst.name in ("measure", "reset"):
-            routed.append(inst.name, [layout.physical(inst.qubits[0])], clbits=inst.clbits)
+            routed.append(
+                inst.name,
+                [layout.physical(inst.qubits[0])],
+                clbits=inst.clbits,
+                label=inst.label,
+            )
             continue
         if inst.num_qubits == 1:
-            routed.append(inst.name, [layout.physical(inst.qubits[0])], inst.params)
+            routed.append(
+                inst.name, [layout.physical(inst.qubits[0])], inst.params, label=inst.label
+            )
             continue
         if inst.num_qubits > 2:
             raise TranspilerError(
@@ -104,6 +116,7 @@ def route_circuit(
             inst.name,
             [layout.physical(logical_a), layout.physical(logical_b)],
             inst.params,
+            label=inst.label,
         )
 
     return RoutingResult(

@@ -20,6 +20,8 @@ from repro.simulators.gate import (
     DensityMatrixSimulator,
     NoiseModel,
     StatevectorSimulator,
+    clear_compile_caches,
+    compile_cache_info,
 )
 
 from engine_testlib import (
@@ -124,6 +126,62 @@ def test_batched_seed_determinism_is_worker_invariant():
     assert dict(serial) == dict(threaded)
 
 
+# -- noisy compile cache + GEMM path (PR 5) -----------------------------------------
+
+
+def test_noisy_counts_identical_cold_vs_warm_compile_across_engines():
+    # Every engine now compiles noisy circuits through the two-level cache;
+    # a warm rerun (program-cache hit) must reproduce the cold run's seeded
+    # counts bit for bit on each engine.
+    rng = np.random.default_rng(77)
+    circuit = random_mixed_circuit(rng, 3, 12)
+    noise = NoiseModel(oneq_error=0.06, twoq_error=0.1, readout_error=0.02)
+    for engine, shots in (("batched", 1024), ("reference", 256), ("density", 1024)):
+        clear_compile_caches()
+        cold = engine_counts(circuit, noise, engine, shots=shots, seed=19)
+        info = compile_cache_info()
+        assert info["template"]["misses"] >= 1, engine
+        warm = engine_counts(circuit, noise, engine, shots=shots, seed=19)
+        assert compile_cache_info()["program"]["hits"] >= 1, engine
+        assert dict(cold) == dict(warm), engine
+
+
+def test_gemm_and_slice_noise_paths_sample_identically():
+    # The per-shot operator GEMM path and the masked-slice path must be
+    # interchangeable: identical RNG draws, bit-identical amplitudes, and
+    # therefore identical seeded counts at every worker count.
+    rng = np.random.default_rng(88)
+    circuit = random_mixed_circuit(rng, 4, 14)
+    noise = NoiseModel(oneq_error=0.15, twoq_error=0.2, readout_error=0.03)
+    reference = None
+    for threshold in (None, 0.0):
+        for workers in (1, 4):
+            counts = engine_counts(
+                circuit,
+                noise,
+                "batched",
+                shots=1024,
+                seed=3,
+                max_batch_memory=4096,
+                trajectory_workers=workers,
+                noise_gemm_threshold=threshold,
+            )
+            if reference is None:
+                reference = dict(counts)
+            assert dict(counts) == reference, (threshold, workers)
+
+
+def test_gemm_path_matches_oracle_at_high_noise():
+    # High rates are exactly where the GEMM path engages by default; its
+    # histogram must still track the closed-form distribution.
+    circuit = Circuit(3, 3)
+    circuit.h(0).cx(0, 1).cx(1, 2).measure_all()
+    noise = NoiseModel(oneq_error=0.1, twoq_error=0.2, readout_error=0.05)
+    exact = exact_distribution(circuit, noise)
+    counts = engine_counts(circuit, noise, "batched", noise_gemm_threshold=0.0)
+    assert total_variation_distance(counts, exact) < tvd_bound(exact, SHOTS)
+
+
 # -- full sweep (slow lane) ---------------------------------------------------------
 
 
@@ -162,6 +220,38 @@ def test_differential_sweep_mixed_circuits(num_qubits, circuit_seed):
     for engine, shots in (("batched", SHOTS), ("reference", 768)):
         counts = engine_counts(circuit, noise, engine, shots=shots, seed=circuit_seed)
         assert total_variation_distance(counts, exact) < tvd_bound(exact, shots), engine
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("num_qubits", [2, 3, 4])
+@pytest.mark.parametrize("circuit_seed", [0, 1, 2])
+def test_sweep_noisy_cache_and_gemm_identity(num_qubits, circuit_seed):
+    # Sweep lane of the PR 5 identities: cold-vs-warm compile per engine and
+    # GEMM-vs-slice per worker count, over random mixed circuits.
+    rng = np.random.default_rng(4200 + 10 * num_qubits + circuit_seed)
+    circuit = random_mixed_circuit(rng, num_qubits, 5 * num_qubits)
+    noise = NoiseModel(oneq_error=0.08, twoq_error=0.14, readout_error=0.02)
+    for engine, shots in (("batched", 1024), ("reference", 128), ("density", 512)):
+        clear_compile_caches()
+        cold = engine_counts(circuit, noise, engine, shots=shots, seed=circuit_seed)
+        warm = engine_counts(circuit, noise, engine, shots=shots, seed=circuit_seed)
+        assert dict(cold) == dict(warm), engine
+    reference = None
+    for threshold in (None, 0.0, 64.0):
+        for workers in (1, 2, 4):
+            counts = engine_counts(
+                circuit,
+                noise,
+                "batched",
+                shots=1024,
+                seed=circuit_seed,
+                max_batch_memory=2048,
+                trajectory_workers=workers,
+                noise_gemm_threshold=threshold,
+            )
+            if reference is None:
+                reference = dict(counts)
+            assert dict(counts) == reference, (threshold, workers)
 
 
 @pytest.mark.slow

@@ -1,0 +1,426 @@
+"""Tests for the noisy fast path (PR 5).
+
+Covers the four layers:
+
+* **noisy parametric compilation** — a template bound with a noise model
+  produces programs bit-identical to the uncached noisy compile, for the
+  source circuit and for re-binds with fresh angles;
+* **two-level compile cache** — program-level hits for exact re-runs,
+  template-level hits for re-binds, dtype/noise folded into the program
+  key, bounded LRUs with eviction, introspection via ``compile_cache_info``;
+* **GEMM noise path** — ``apply_operator_columns`` agrees with per-column
+  operator application, and the batched engine's GEMM/slice strategies are
+  seeded-count bit-identical at every threshold and worker count;
+* **transpile cache** — structure-keyed routing replay returns circuits
+  identical to the uncached transpiler, with counters and eviction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulators.gate import (
+    DEFAULT_COMPILE_CACHE_SIZE,
+    Circuit,
+    NoiseModel,
+    StatevectorSimulator,
+    clear_compile_caches,
+    compile_cache_info,
+    compile_trajectory_program,
+    compile_trajectory_program_cached,
+    set_compile_cache_size,
+    transpile,
+    transpile_cached,
+)
+from repro.simulators.gate.batched import BatchedStatevector
+from repro.simulators.gate.fusion import GateStep, compile_parametric_template
+from repro.simulators.gate.kernels import apply_operator_columns, build_plan
+from repro.simulators.gate.transpiler import (
+    clear_transpile_cache,
+    set_transpile_cache_size,
+    transpile_cache_info,
+)
+
+from engine_testlib import random_mixed_circuit, random_unitary_circuit
+
+NOISE = NoiseModel(oneq_error=0.05, twoq_error=0.12, readout_error=0.02)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Every test starts and ends with empty compile caches at default size."""
+    clear_compile_caches()
+    set_compile_cache_size(DEFAULT_COMPILE_CACHE_SIZE)
+    yield
+    clear_compile_caches()
+    set_compile_cache_size(DEFAULT_COMPILE_CACHE_SIZE)
+
+
+def qaoa_like_circuit(num_qubits, gamma, beta, *, measure=True):
+    """A QAOA-shaped circuit whose angles are the only varying structure."""
+    circuit = Circuit(num_qubits, num_qubits)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for q in range(num_qubits - 1):
+        circuit.rzz(2.0 * gamma, q, q + 1)
+    for q in range(num_qubits):
+        circuit.rx(2.0 * beta, q)
+    if measure:
+        for q in range(num_qubits):
+            circuit.measure(q, q)
+    return circuit
+
+
+def assert_noisy_programs_identical(a, b):
+    """Bit-exact equality of two compiled programs, noise events included."""
+    assert a.num_qubits == b.num_qubits and a.num_clbits == b.num_clbits
+    assert a.terminal == b.terminal
+    assert len(a.steps) == len(b.steps)
+    for step_a, step_b in zip(a.steps, b.steps):
+        assert type(step_a) is type(step_b)
+        if not isinstance(step_a, GateStep):
+            assert step_a == step_b
+            continue
+        assert step_a.qubits == step_b.qubits
+        assert np.array_equal(step_a.matrix, step_b.matrix)
+        assert step_a.plan == step_b.plan
+        assert len(step_a.noise) == len(step_b.noise)
+        for event_a, event_b in zip(step_a.noise, step_b.noise):
+            assert event_a.qubits == event_b.qubits
+            assert event_a.rate == event_b.rate
+            assert len(event_a.operators) == len(event_b.operators)
+            for (mat_a, plan_a), (mat_b, plan_b) in zip(
+                event_a.operators, event_b.operators
+            ):
+                assert np.array_equal(mat_a, mat_b)
+                assert plan_a == plan_b
+
+
+# -- noisy parametric compilation ---------------------------------------------------
+
+
+def test_noisy_cached_compile_is_bit_identical_to_uncached():
+    for seed in range(4):
+        rng = np.random.default_rng(seed)
+        circuit = random_mixed_circuit(rng, 4, 18)
+        cached = compile_trajectory_program_cached(circuit, NOISE)
+        fresh = compile_trajectory_program(circuit, NOISE)
+        assert_noisy_programs_identical(cached, fresh)
+
+
+def test_noisy_template_rebinds_to_fresh_angles():
+    cold = qaoa_like_circuit(5, 0.3, 0.7)
+    warm = qaoa_like_circuit(5, 1.1, 0.2)
+    compile_trajectory_program_cached(cold, NOISE)
+    rebound = compile_trajectory_program_cached(warm, NOISE)
+    info = compile_cache_info()
+    assert info["template"]["misses"] == 1 and info["template"]["hits"] == 1
+    assert_noisy_programs_identical(rebound, compile_trajectory_program(warm, NOISE))
+
+
+def test_noisy_bind_via_template_matches_one_shot_compiler():
+    # Same-pair-fusion-heavy circuits exercise the segment replay hardest.
+    from test_fusion_properties import same_pair_heavy_circuit
+
+    for seed in range(3):
+        rng = np.random.default_rng(7700 + seed)
+        circuit = same_pair_heavy_circuit(3, rng, length=18)
+        template = compile_parametric_template(circuit)
+        bound = template.bind(circuit, NOISE)
+        assert_noisy_programs_identical(bound, compile_trajectory_program(circuit, NOISE))
+
+
+def test_program_cache_hits_on_exact_rerun():
+    circuit = qaoa_like_circuit(4, 0.4, 0.9)
+    first = compile_trajectory_program_cached(circuit, NOISE)
+    second = compile_trajectory_program_cached(circuit, NOISE)
+    assert second is first  # the immutable program is shared, not rebound
+    info = compile_cache_info()
+    assert info["program"]["hits"] == 1 and info["program"]["misses"] == 1
+
+
+def test_program_cache_key_separates_noise_and_dtype():
+    circuit = qaoa_like_circuit(4, 0.4, 0.9)
+    noiseless = compile_trajectory_program_cached(circuit)
+    noisy = compile_trajectory_program_cached(circuit, NOISE)
+    assert noisy is not noiseless
+    assert not any(
+        step.noise for step in noiseless.steps if isinstance(step, GateStep)
+    )
+    c64 = compile_trajectory_program_cached(
+        circuit, NOISE, dtype=np.dtype(np.complex64)
+    )
+    c128 = compile_trajectory_program_cached(
+        circuit, NOISE, dtype=np.dtype(np.complex128)
+    )
+    assert c64 is not c128 and c64 is not noisy
+    assert compile_cache_info()["program"]["entries"] == 4
+    # The dtype-specific artifact: identity-first operator stacks.
+    stacks = [
+        event.stack
+        for step in c64.steps
+        if isinstance(step, GateStep)
+        for event in step.noise
+    ]
+    assert stacks and all(stack.dtype == np.complex64 for stack in stacks)
+    assert all(
+        np.array_equal(stack[0], np.eye(stack.shape[1], dtype=np.complex64))
+        for stack in stacks
+    )
+    # Matrices and plans are dtype-independent (cast happens at apply time).
+    assert_noisy_programs_identical(c64, c128)
+
+
+def test_readout_only_noise_compiles_without_events():
+    circuit = qaoa_like_circuit(3, 0.2, 0.5)
+    readout = NoiseModel(readout_error=0.1)
+    program = compile_trajectory_program_cached(circuit, readout)
+    assert not any(
+        step.noise for step in program.steps if isinstance(step, GateStep)
+    )
+
+
+def test_compile_cache_lru_eviction_is_bounded_and_oldest_first():
+    set_compile_cache_size(3)
+    circuits = [qaoa_like_circuit(n, 0.3, 0.6) for n in (2, 3, 4, 5)]
+    for circuit in circuits:
+        compile_trajectory_program_cached(circuit, NOISE)
+    info = compile_cache_info()
+    assert info["template"]["entries"] == 3
+    assert info["program"]["entries"] == 3
+    assert info["template"]["maxsize"] == 3
+    # The oldest structure (2 qubits) was evicted: recompiling misses again.
+    before = compile_cache_info()["template"]["misses"]
+    compile_trajectory_program_cached(circuits[0], NOISE)
+    assert compile_cache_info()["template"]["misses"] == before + 1
+    # The newest survivors still hit.
+    before_hits = compile_cache_info()["program"]["hits"]
+    compile_trajectory_program_cached(circuits[-1], NOISE)
+    assert compile_cache_info()["program"]["hits"] == before_hits + 1
+
+
+def test_shrinking_the_cache_evicts_immediately():
+    for n in (2, 3, 4, 5):
+        compile_trajectory_program_cached(qaoa_like_circuit(n, 0.1, 0.2), NOISE)
+    set_compile_cache_size(2)
+    info = compile_cache_info()
+    assert info["template"]["entries"] == 2 and info["program"]["entries"] == 2
+
+
+def test_compile_cache_size_knob_on_simulator():
+    StatevectorSimulator(compile_cache_size=7)
+    assert compile_cache_info()["template"]["maxsize"] == 7
+    assert transpile_cache_info()["maxsize"] == 7
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(compile_cache_size=0)
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(compile_cache_size="many")
+
+
+def test_gate_registration_invalidates_compile_caches():
+    from repro.simulators.gate.gates import _GATES, register_gate
+
+    compile_trajectory_program_cached(qaoa_like_circuit(3, 0.1, 0.2), NOISE)
+    assert compile_cache_info()["program"]["entries"] == 1
+    name = "probe_gate_for_cache_invalidation"
+    try:
+        register_gate(name, 1, 0, lambda: np.eye(2, dtype=complex), replace=True)
+        # Compiled programs may embed matrices of any definition; a changed
+        # registry flushes them all.
+        assert compile_cache_info()["program"]["entries"] == 0
+        assert compile_cache_info()["template"]["entries"] == 0
+    finally:
+        _GATES.pop(name, None)
+
+
+# -- GEMM noise path ----------------------------------------------------------------
+
+
+def test_apply_operator_columns_matches_per_column_reference():
+    rng = np.random.default_rng(11)
+    for qubits, num_qubits in (((1,), 3), ((0, 2), 3), ((2, 1), 3)):
+        dim = 1 << len(qubits)
+        batch = 17
+        state = rng.normal(size=(2,) * num_qubits + (batch,)) + 1j * rng.normal(
+            size=(2,) * num_qubits + (batch,)
+        )
+        ops = rng.normal(size=(batch, dim, dim)) + 1j * rng.normal(
+            size=(batch, dim, dim)
+        )
+        fast = state.copy()
+        apply_operator_columns(fast, ops, qubits)
+        slow = state.copy()
+        for column in range(batch):
+            tensor = slow[..., column].copy()
+            from repro.simulators.gate.kernels import apply_plan_inplace
+
+            apply_plan_inplace(tensor, build_plan(ops[column]), list(qubits))
+            slow[..., column] = tensor
+        assert np.allclose(fast, slow, atol=1e-12)
+
+
+def test_apply_operator_columns_rejects_bad_shapes():
+    state = np.zeros((2, 2, 5), dtype=np.complex128)
+    with pytest.raises(ValueError):
+        apply_operator_columns(state, np.zeros((5, 4, 4)), [0])
+
+
+def test_gemm_and_slice_paths_bit_identical_on_batched_state():
+    program = compile_trajectory_program(
+        qaoa_like_circuit(4, 0.7, 0.3, measure=False),
+        NoiseModel(oneq_error=0.3, twoq_error=0.4),
+    )
+    events = [step.noise for step in program.steps if step.noise]
+    assert events
+    for dtype in (np.complex64, np.complex128):
+        slice_state = BatchedStatevector(4, 64, dtype=dtype)
+        gemm_state = BatchedStatevector(4, 64, dtype=dtype)
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        for step_events in events:
+            slice_state.apply_noise_events(step_events, rng_a, gemm_threshold=None)
+            gemm_state.apply_noise_events(step_events, rng_b, gemm_threshold=0.0)
+        a = slice_state.data
+        b = gemm_state.data
+        assert np.array_equal(np.abs(a) ** 2, np.abs(b) ** 2)
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_noise_gemm_threshold_never_changes_seeded_counts(workers):
+    rng = np.random.default_rng(31)
+    circuit = random_mixed_circuit(rng, 4, 14)
+    noise = NoiseModel(oneq_error=0.12, twoq_error=0.18, readout_error=0.04)
+    reference = None
+    for threshold in (None, 0.0, 64.0, 1e9):
+        simulator = StatevectorSimulator(
+            noise_model=noise,
+            noise_gemm_threshold=threshold,
+            max_batch_memory=4096,
+            trajectory_workers=workers,
+        )
+        counts = simulator.run(circuit, shots=768, seed=13).counts
+        if reference is None:
+            reference = dict(counts)
+        assert dict(counts) == reference, (threshold, workers)
+
+
+def test_noise_gemm_threshold_validation():
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(noise_gemm_threshold=-1.0)
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(noise_gemm_threshold="always")
+    assert StatevectorSimulator(noise_gemm_threshold=None).noise_gemm_threshold is None
+    assert StatevectorSimulator(noise_gemm_threshold=8).noise_gemm_threshold == 8.0
+
+
+# -- the reference engine on compiled programs --------------------------------------
+
+
+def test_reference_engine_reports_compiled_steps_and_stays_deterministic():
+    rng = np.random.default_rng(3)
+    circuit = random_mixed_circuit(rng, 3, 10)
+    simulator = StatevectorSimulator(noise_model=NOISE, trajectory_engine="reference")
+    first = simulator.run(circuit, shots=128, seed=7)
+    second = simulator.run(circuit, shots=128, seed=7)
+    assert dict(first.counts) == dict(second.counts)
+    assert first.metadata["compiled_steps"] >= 1
+    # The warm rerun was served by the program cache.
+    assert compile_cache_info()["program"]["hits"] >= 1
+
+
+# -- transpile cache ----------------------------------------------------------------
+
+RING = tuple((i, (i + 1) % 6) for i in range(6))
+BASIS = ("rz", "sx", "cx")
+
+
+def assert_circuits_identical(a, b):
+    """Instruction-by-instruction equality (names, qubits, params, clbits)."""
+    assert a.num_qubits == b.num_qubits and a.num_clbits == b.num_clbits
+    assert a.instructions == b.instructions
+
+
+@pytest.mark.parametrize("optimization_level", [0, 1, 2])
+def test_transpile_cached_equals_uncached(optimization_level):
+    for seed in range(3):
+        rng = np.random.default_rng(40 + seed)
+        circuit = random_unitary_circuit(rng, 6, 20)
+        circuit.measure_all()
+        cached = transpile_cached(
+            circuit,
+            basis_gates=BASIS,
+            coupling_map=RING,
+            optimization_level=optimization_level,
+        )
+        fresh = transpile(
+            circuit,
+            basis_gates=BASIS,
+            coupling_map=RING,
+            optimization_level=optimization_level,
+        )
+        assert_circuits_identical(cached.circuit, fresh.circuit)
+        assert cached.metrics == fresh.metrics
+        assert cached.initial_layout.to_dict() == fresh.initial_layout.to_dict()
+        assert cached.final_layout.to_dict() == fresh.final_layout.to_dict()
+        assert cached.num_swaps_inserted == fresh.num_swaps_inserted
+
+
+def test_transpile_cache_rebinds_fresh_parameters_on_structure_hits():
+    clear_transpile_cache()
+    transpile_cached(
+        qaoa_like_circuit(6, 0.3, 0.5),
+        basis_gates=BASIS,
+        coupling_map=RING,
+        optimization_level=2,
+    )
+    for k in range(4):
+        circuit = qaoa_like_circuit(6, 0.11 * k + 0.05, 0.07 * k + 0.02)
+        cached = transpile_cached(
+            circuit, basis_gates=BASIS, coupling_map=RING, optimization_level=2
+        )
+        fresh = transpile(
+            circuit, basis_gates=BASIS, coupling_map=RING, optimization_level=2
+        )
+        assert_circuits_identical(cached.circuit, fresh.circuit)
+    info = transpile_cache_info()
+    assert info["misses"] == 1 and info["hits"] == 4 and info["fallbacks"] == 0
+
+
+def test_transpile_cache_distinguishes_pass_config():
+    clear_transpile_cache()
+    circuit = qaoa_like_circuit(6, 0.3, 0.5)
+    transpile_cached(circuit, basis_gates=BASIS, coupling_map=RING)
+    transpile_cached(circuit, basis_gates=BASIS)
+    transpile_cached(circuit, basis_gates=BASIS, coupling_map=RING, optimization_level=2)
+    assert transpile_cache_info()["entries"] == 3
+
+
+def test_transpile_cache_eviction():
+    clear_transpile_cache()
+    set_transpile_cache_size(2)
+    try:
+        for n in (3, 4, 5):
+            transpile_cached(qaoa_like_circuit(n, 0.1, 0.2), basis_gates=BASIS)
+        assert transpile_cache_info()["entries"] == 2
+    finally:
+        set_transpile_cache_size(DEFAULT_COMPILE_CACHE_SIZE)
+
+
+def test_transpiled_noisy_counts_identical_cold_vs_warm_end_to_end():
+    # The full backend-shaped pipeline: transpile (cached) then simulate with
+    # a noisy compiled program (cached) — warm reruns must not move a count.
+    circuit = qaoa_like_circuit(5, 0.8, 0.4)
+    simulator = StatevectorSimulator(noise_model=NOISE)
+
+    def run_once():
+        transpiled = transpile_cached(
+            circuit, basis_gates=BASIS, coupling_map=RING, optimization_level=1
+        )
+        return simulator.run(transpiled.circuit, shots=512, seed=23).counts
+
+    cold = run_once()
+    warm = run_once()
+    assert dict(cold) == dict(warm)
+    info = compile_cache_info()
+    assert info["program"]["hits"] >= 1
+    assert info["transpile"]["hits"] >= 1
