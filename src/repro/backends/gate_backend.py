@@ -132,6 +132,13 @@ class GateBackend(Backend):
             bound trajectory programs, transpile templates; see
             :func:`~repro.simulators.gate.fusion.set_compile_cache_size`).
             ``None`` keeps the current bound (256 by default).
+        ``verify_compiled`` (bool, default ``False``)
+            Run every compiled artifact of the run — the bound trajectory
+            program, its structural template and the result metadata —
+            through the static IR verifier
+            (:mod:`~repro.simulators.gate.analysis`); a contract violation
+            raises instead of returning a result.  Off by default: the
+            disabled path adds no hot-path work.
         ``variational_evaluation`` (``"sampled"`` | ``"expectation"``,
             default ``"sampled"``)
             Consumed by :mod:`repro.workflows.qaoa_optimizer`, not by this
@@ -177,6 +184,9 @@ class GateBackend(Backend):
                     "noise_gemm_threshold", DEFAULT_NOISE_GEMM_THRESHOLD
                 ),
                 compile_cache_size=exec_policy.options.get("compile_cache_size"),
+                # Passed through unconverted: the simulator enforces the
+                # bool contract.
+                verify_compiled=exec_policy.options.get("verify_compiled", False),
             )
             simulation = simulator.run(
                 transpiled.circuit,

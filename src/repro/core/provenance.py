@@ -33,7 +33,11 @@ class Provenance:
 
     def __post_init__(self) -> None:
         if not self.created_at:
-            self.created_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+            # Provenance stamps record when an artifact was produced; a
+            # wall-clock timestamp is the whole point here.
+            self.created_at = datetime.now(timezone.utc).isoformat(  # lint: allow(TIME001)
+                timespec="seconds"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {

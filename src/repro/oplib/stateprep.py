@@ -16,6 +16,7 @@ import numpy as np
 from ..core.errors import DescriptorError
 from ..core.qdt import QuantumDataType
 from ..core.qod import QuantumOperatorDescriptor
+from ..simulators.gate.dtypes import CANONICAL_COMPLEX
 from .library import build_operator
 
 __all__ = ["prep_uniform", "prep_basis_state", "prep_amplitude", "prep_angle"]
@@ -56,7 +57,7 @@ def prep_amplitude(
     Complex amplitudes are carried as ``[re, im]`` pairs so the descriptor
     stays valid JSON.
     """
-    vector = np.asarray(amplitudes, dtype=np.complex128)
+    vector = np.asarray(amplitudes, dtype=CANONICAL_COMPLEX)
     if vector.shape != (qdt.num_states,):
         raise DescriptorError(
             f"amplitude vector must have length {qdt.num_states}, got {vector.shape}"

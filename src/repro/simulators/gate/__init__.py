@@ -33,6 +33,17 @@ from .statevector import (
 from .kernels import DEFAULT_NOISE_GEMM_THRESHOLD
 from .transpiler import Layout, TranspileResult, transpile, transpile_cached
 from .unitary import circuit_unitary, equal_up_to_global_phase
+from . import analysis
+from .analysis import (
+    IRDiagnostic,
+    IRVerificationError,
+    VerificationReport,
+    set_verify_each,
+    verify_each_enabled,
+    verify_program,
+    verify_stage,
+    verify_template,
+)
 
 __all__ = [
     "BatchedStatevector",
@@ -72,4 +83,13 @@ __all__ = [
     "Layout",
     "circuit_unitary",
     "equal_up_to_global_phase",
+    "analysis",
+    "IRDiagnostic",
+    "IRVerificationError",
+    "VerificationReport",
+    "set_verify_each",
+    "verify_each_enabled",
+    "verify_program",
+    "verify_template",
+    "verify_stage",
 ]

@@ -1,0 +1,97 @@
+"""Typed diagnostics for the compiled-IR verifier.
+
+Every verifier rule reports failures as :class:`IRDiagnostic` values — a rule
+id from the catalog (``IR001`` ... ``IR008``, ``TR001`` ... ``TR006``), the
+provenance of the offending artifact (e.g. ``steps[3].noise[1]``) and a
+human-readable message — collected into a :class:`VerificationReport`.  This
+keeps verification *data-first*: callers can inspect, serialise (``to_dict``)
+or aggregate reports, and only :meth:`VerificationReport.raise_if_failed`
+turns a failed report into an :class:`IRVerificationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ....core.errors import SimulationError
+
+__all__ = ["IRDiagnostic", "VerificationReport", "IRVerificationError"]
+
+
+@dataclass(frozen=True)
+class IRDiagnostic:
+    """One verifier rule failure with provenance.
+
+    ``rule`` is the catalog id (``IR001`` ...), ``location`` the path of the
+    offending element inside the verified artifact (``steps[2].noise[0]``,
+    ``terminal``, ``recipes[4]``, ``instructions[7]``), and ``message`` the
+    human-readable explanation.
+    """
+
+    rule: str
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        """``RULE @ location: message`` — the report's printed line format."""
+        return f"{self.rule} @ {self.location}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """All diagnostics produced by one verification pass over one artifact."""
+
+    subject: str
+    diagnostics: List[IRDiagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the artifact verified clean (no diagnostics)."""
+        return not self.diagnostics
+
+    @property
+    def rule_ids(self) -> Tuple[str, ...]:
+        """The rule ids that fired, in report order (with repeats)."""
+        return tuple(diagnostic.rule for diagnostic in self.diagnostics)
+
+    def add(self, rule: str, location: str, message: str) -> None:
+        """Record one rule failure."""
+        self.diagnostics.append(IRDiagnostic(rule, location, message))
+
+    def raise_if_failed(self) -> "VerificationReport":
+        """Raise :class:`IRVerificationError` unless the report is clean."""
+        if self.diagnostics:
+            raise IRVerificationError(self)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (the ``tools/analyze.py`` report format)."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "diagnostics": [
+                {
+                    "rule": diagnostic.rule,
+                    "location": diagnostic.location,
+                    "message": diagnostic.message,
+                }
+                for diagnostic in self.diagnostics
+            ],
+        }
+
+
+class IRVerificationError(SimulationError):
+    """A compiled artifact failed IR verification.
+
+    Carries the full :class:`VerificationReport` as ``report`` so callers
+    (and test assertions) can inspect exact rule ids and provenance.
+    """
+
+    def __init__(self, report: VerificationReport):
+        lines = "; ".join(str(diagnostic) for diagnostic in report.diagnostics)
+        super().__init__(
+            f"{report.subject} failed IR verification "
+            f"({len(report.diagnostics)} diagnostic(s)): {lines}"
+        )
+        self.report = report

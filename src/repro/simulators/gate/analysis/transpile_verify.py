@@ -1,0 +1,146 @@
+"""Verify-each checks for the transpiler pipeline (rules ``TR001``-``TR006``).
+
+The transpiler's routing replay and cache paths build circuits by direct
+instruction-list appends — deliberately bypassing ``Circuit.append``
+validation for speed — so a routing or replay bug could emit silently
+malformed circuits.  :func:`verify_stage` re-checks each stage's output:
+
+* ``TR001`` — instruction qubit/clbit indices in bounds, gate operands
+  distinct;
+* ``TR002`` — every gate name resolvable in the gate registry;
+* ``TR003`` — at most two-qubit gates after the pre-routing decomposition;
+* ``TR004`` — every two-qubit gate acts on a coupled pair (undirected) when a
+  coupling map constrains the stage;
+* ``TR005`` — only basis gates (plus measure/reset/barrier) after basis
+  translation;
+* ``TR006`` — measurements and resets preserved: the translated circuit keeps
+  the source's measure-clbit multiset and reset count (qubits may be
+  relabelled by routing, records may not be dropped or duplicated).
+
+Stages are named ``"decompose"``, ``"route"``, ``"translate"`` and
+``"optimize"`` — the hook points installed by
+:func:`repro.simulators.gate.analysis.set_verify_each`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..circuit import Circuit
+from ..gates import has_gate
+from .diagnostics import VerificationReport
+
+__all__ = ["TR_RULES", "STAGES", "verify_stage"]
+
+#: Rule catalog: id -> one-line description (rendered in ``docs/static_analysis.md``).
+TR_RULES = {
+    "TR001": "instruction qubit/clbit indices in bounds, operands distinct",
+    "TR002": "every gate name resolvable in the gate registry",
+    "TR003": "at most two-qubit gates after pre-routing decomposition",
+    "TR004": "two-qubit gates act on coupled pairs when a coupling map applies",
+    "TR005": "only basis gates (plus measure/reset/barrier) after translation",
+    "TR006": "measure-clbit multiset and reset count preserved from the source",
+}
+
+#: Pipeline stages instrumented by the verify-each hooks, in pass order.
+STAGES = ("decompose", "route", "translate", "optimize")
+
+_NON_GATES = ("measure", "reset", "barrier")
+
+
+def _record_signature(circuit: Circuit) -> Tuple[Tuple[int, ...], int]:
+    """The TR006 invariant: sorted measure clbits and the reset count."""
+    clbits = sorted(
+        inst.clbits[0] for inst in circuit.instructions if inst.name == "measure"
+    )
+    resets = sum(1 for inst in circuit.instructions if inst.name == "reset")
+    return tuple(clbits), resets
+
+
+def verify_stage(
+    stage: str,
+    circuit: Circuit,
+    *,
+    source: Optional[Circuit] = None,
+    coupling_map: Optional[Sequence[Tuple[int, int]]] = None,
+    basis_gates: Optional[Sequence[str]] = None,
+) -> VerificationReport:
+    """Verify one transpiler stage's output circuit against TR001-TR006.
+
+    *stage* names the pass that produced *circuit* (see :data:`STAGES`);
+    *source* is the stage's input circuit (enables the TR006 record-
+    preservation check), *coupling_map* / *basis_gates* the constraints the
+    stage must have established (TR004 applies from routing onward, TR005
+    only to translated/optimized circuits).
+    """
+    if stage not in STAGES:
+        raise ValueError(f"unknown transpiler stage {stage!r}; expected one of {STAGES}")
+    report = VerificationReport(f"transpile:{stage}")
+    edges = None
+    if coupling_map is not None and stage in ("route", "translate", "optimize"):
+        edges = {frozenset(edge) for edge in coupling_map}
+    basis = None
+    if basis_gates is not None and stage in ("translate", "optimize"):
+        basis = set(basis_gates)
+    for index, inst in enumerate(circuit.instructions):
+        location = f"instructions[{index}]"
+        for qubit in inst.qubits:
+            if not 0 <= qubit < circuit.num_qubits:
+                report.add(
+                    "TR001",
+                    location,
+                    f"{inst.name} qubit {qubit} out of range for "
+                    f"{circuit.num_qubits} qubits",
+                )
+        for clbit in inst.clbits:
+            if not 0 <= clbit < circuit.num_clbits:
+                report.add(
+                    "TR001",
+                    location,
+                    f"{inst.name} clbit {clbit} out of range for "
+                    f"{circuit.num_clbits} clbits",
+                )
+        if inst.name == "barrier":
+            continue
+        if len(set(inst.qubits)) != len(inst.qubits):
+            report.add(
+                "TR001", location, f"duplicate qubits in {inst.name} {inst.qubits}"
+            )
+        if inst.name in _NON_GATES:
+            continue
+        if not has_gate(inst.name):
+            report.add(
+                "TR002", location, f"unknown gate {inst.name!r} after {stage}"
+            )
+            continue
+        if inst.num_qubits > 2:
+            report.add(
+                "TR003",
+                location,
+                f"{inst.name} acts on {inst.num_qubits} qubits after the "
+                f"pre-routing decomposition",
+            )
+        if edges is not None and inst.num_qubits == 2:
+            if frozenset(inst.qubits) not in edges:
+                report.add(
+                    "TR004",
+                    location,
+                    f"{inst.name} on uncoupled pair {inst.qubits}",
+                )
+        if basis is not None and inst.name not in basis:
+            report.add(
+                "TR005",
+                location,
+                f"{inst.name!r} is outside the target basis {sorted(basis)}",
+            )
+    if source is not None:
+        if _record_signature(circuit) != _record_signature(source):
+            ours, theirs = _record_signature(circuit), _record_signature(source)
+            report.add(
+                "TR006",
+                "instructions",
+                f"stage {stage} changed the measurement/reset record: "
+                f"measure clbits {theirs[0]} -> {ours[0]}, "
+                f"resets {theirs[1]} -> {ours[1]}",
+            )
+    return report

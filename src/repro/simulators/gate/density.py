@@ -431,6 +431,12 @@ class DensityMatrixSimulator:
         that exact behaviour.  ``"deterministic"`` apportions
         ``round(p * shots)`` counts by largest remainder — reproducible
         without any RNG, useful for regression baselines.
+    verify_compiled:
+        ``bool`` (default ``False``).  When enabled, every compiled program
+        and every result's contractual metadata is checked through the
+        static IR verifier (:mod:`~repro.simulators.gate.analysis`); a
+        violation raises
+        :class:`~repro.simulators.gate.analysis.IRVerificationError`.
     """
 
     def __init__(
@@ -438,14 +444,20 @@ class DensityMatrixSimulator:
         *,
         noise_model: Optional[NoiseModel] = None,
         sampling: str = "multinomial",
+        verify_compiled: bool = False,
     ):
         if sampling not in ("multinomial", "deterministic"):
             raise SimulationError(
                 f"unknown density sampling mode {sampling!r}; "
                 "expected 'multinomial' or 'deterministic'"
             )
+        if not isinstance(verify_compiled, bool):
+            raise SimulationError(
+                f"verify_compiled must be a bool, got {verify_compiled!r}"
+            )
         self.noise_model = noise_model
         self.sampling = sampling
+        self.verify_compiled = verify_compiled
 
     # -- public API -------------------------------------------------------------
     def run(
@@ -498,9 +510,14 @@ class DensityMatrixSimulator:
             "density_sampling": self.sampling,
             "distribution_size": len(distribution),
         }
-        return SimulationResult(
+        result = SimulationResult(
             counts=counts, statevector=None, shots=shots, seed=seed, metadata=metadata
         )
+        if self.verify_compiled:
+            from .analysis import verify_result  # local: import cycle
+
+            verify_result(result).raise_if_failed()
+        return result
 
     def probabilities(self, circuit: Circuit) -> Dict[str, float]:
         """The exact outcome distribution of *circuit* under this noise model.
@@ -544,7 +561,12 @@ class DensityMatrixSimulator:
         noise = self.noise_model
         if noise is not None and noise.is_noiseless:
             noise = None
-        return compile_trajectory_program_cached(circuit, noise), noise
+        program = compile_trajectory_program_cached(circuit, noise)
+        if self.verify_compiled:
+            from .analysis import verify_program  # local: import cycle
+
+            verify_program(program).raise_if_failed()
+        return program, noise
 
     def _evolve(
         self, program: TrajectoryProgram, noise: Optional[NoiseModel]

@@ -119,11 +119,34 @@ __all__ = [
     "set_compile_cache_size",
     "parametric_cache_info",
     "parametric_cache_clear",
+    "set_compile_verify_hooks",
     "DEFAULT_COMPILE_CACHE_SIZE",
 ]
 
 _PAULI_NAMES = ("x", "y", "z")
 _ID2 = np.eye(2, dtype=np.complex128)
+
+# Verify-each hooks (``analysis.set_verify_each``).  ``None`` — the
+# production default — costs one identity check per structural compile /
+# bind; installed hooks receive every freshly produced artifact (cache
+# misses only: cached templates and programs were verified when built).
+_TEMPLATE_HOOK = None
+_PROGRAM_HOOK = None
+
+
+def set_compile_verify_hooks(template_hook, program_hook) -> None:
+    """Install (or clear, with ``None``) the post-compile verification hooks.
+
+    *template_hook* is called as ``hook(template, circuit)`` at the end of
+    every uncached :func:`compile_parametric_template`; *program_hook* as
+    ``hook(program, circuit)`` at the end of every
+    :meth:`ParametricTemplate.bind`.  Installed by
+    :func:`repro.simulators.gate.analysis.set_verify_each`; do not call
+    directly unless you are building a custom verification collector.
+    """
+    global _TEMPLATE_HOOK, _PROGRAM_HOOK
+    _TEMPLATE_HOOK = template_hook
+    _PROGRAM_HOOK = program_hook
 
 
 @dataclass(frozen=True)
@@ -455,6 +478,9 @@ class ParametricTemplate:
                 steps.append(recipe)
         program = TrajectoryProgram(self.num_qubits, self.num_clbits, steps)
         program.terminal = self.terminal
+        hook = _PROGRAM_HOOK
+        if hook is not None:
+            hook(program, circuit)
         return program
 
 
@@ -730,7 +756,13 @@ def compile_parametric_template(circuit: Circuit) -> ParametricTemplate:
         flush(qubit)
 
     recipes, terminal = _peel_terminal(recipes, circuit)
-    return ParametricTemplate(circuit.num_qubits, circuit.num_clbits, recipes, terminal)
+    template = ParametricTemplate(
+        circuit.num_qubits, circuit.num_clbits, recipes, terminal
+    )
+    hook = _TEMPLATE_HOOK
+    if hook is not None:
+        hook(template, circuit)
+    return template
 
 
 def _swapped_factor(factor: object) -> object:

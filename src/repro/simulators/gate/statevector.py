@@ -438,6 +438,16 @@ class StatevectorSimulator:
         below ``trajectory_workers``), and because up to ``workers`` chunks
         are live at once, the peak working set is about
         ``trajectory_workers x max_batch_memory`` bytes.
+    verify_compiled:
+        ``bool`` (default ``False``).  When enabled, every run verifies its
+        compiled artifacts through the static IR verifier
+        (:mod:`~repro.simulators.gate.analysis`): the bound trajectory
+        program (rules IR001-IR006), its structural template including the
+        IR008 cache-key soundness probe, and the result's contractual
+        metadata (IR007).  A violation raises
+        :class:`~repro.simulators.gate.analysis.IRVerificationError` instead
+        of returning a result.  The disabled path costs one attribute check
+        per run and never touches the hot loops.
     """
 
     def __init__(
@@ -452,6 +462,7 @@ class StatevectorSimulator:
         pin_blas_threads: bool = True,
         noise_gemm_threshold: Union[float, int, None] = DEFAULT_NOISE_GEMM_THRESHOLD,
         compile_cache_size: Optional[int] = None,
+        verify_compiled: bool = False,
     ):
         if trajectory_engine not in ("batched", "reference", "density"):
             raise SimulationError(
@@ -482,6 +493,10 @@ class StatevectorSimulator:
         if not isinstance(pin_blas_threads, bool):
             raise SimulationError(
                 f"pin_blas_threads must be a bool, got {pin_blas_threads!r}"
+            )
+        if not isinstance(verify_compiled, bool):
+            raise SimulationError(
+                f"verify_compiled must be a bool, got {verify_compiled!r}"
             )
         if noise_gemm_threshold is not None:
             if isinstance(noise_gemm_threshold, bool) or not isinstance(
@@ -516,6 +531,7 @@ class StatevectorSimulator:
         self.pin_blas_threads = pin_blas_threads
         self.noise_gemm_threshold = noise_gemm_threshold
         self.compile_cache_size = compile_cache_size
+        self.verify_compiled = verify_compiled
 
     def run(
         self,
@@ -563,7 +579,9 @@ class StatevectorSimulator:
             from .density import DensityMatrixSimulator  # local: import cycle
 
             return DensityMatrixSimulator(
-                noise_model=self.noise_model, sampling=self.density_sampling
+                noise_model=self.noise_model,
+                sampling=self.density_sampling,
+                verify_compiled=self.verify_compiled,
             ).run(circuit, shots=shots, seed=seed)
         rng = np.random.default_rng(seed)
 
@@ -586,13 +604,32 @@ class StatevectorSimulator:
             statevector_kind = "pre_measurement"
         metadata: Dict[str, object] = {"method": method, "statevector_kind": statevector_kind}
         metadata.update(extra)
-        return SimulationResult(
+        result = SimulationResult(
             counts=counts,
             statevector=final_state if return_statevector else None,
             shots=shots,
             seed=seed,
             metadata=metadata,
         )
+        if self.verify_compiled:
+            from .analysis import verify_result  # local: import cycle
+
+            verify_result(result).raise_if_failed()
+        return result
+
+    def _verify_compiled_artifacts(self, circuit: Circuit, program) -> None:
+        """``verify_compiled`` knob path: verify one run's compiled artifacts.
+
+        Verifies the bound :class:`~repro.simulators.gate.fusion.TrajectoryProgram`
+        (IR001-IR006) and the structural template of *circuit* including the
+        IR008 cache-key soundness probe.  Only called when the knob is on;
+        the off path never reaches this method.
+        """
+        from .analysis import verify_program, verify_template  # local: import cycle
+        from .fusion import compile_parametric_template
+
+        verify_template(compile_parametric_template(circuit), circuit).raise_if_failed()
+        verify_program(program).raise_if_failed()
 
     # -- exact path -------------------------------------------------------------
     def _run_exact(
@@ -620,6 +657,8 @@ class StatevectorSimulator:
             gates_only.instructions.append(inst)
         if gates_only.instructions:
             program = compile_trajectory_program_cached(gates_only)
+            if self.verify_compiled:
+                self._verify_compiled_artifacts(gates_only, program)
             for step in program.steps:
                 state.apply_matrix(step.matrix, step.qubits, plan=step.plan)
 
@@ -694,6 +733,8 @@ class StatevectorSimulator:
         program = compile_trajectory_program_cached(
             circuit, noise, dtype=np.dtype(self.trajectory_dtype)
         )
+        if self.verify_compiled:
+            self._verify_compiled_artifacts(circuit, program)
         implicit = program.terminal is not None and program.terminal.implicit
         batch_size = self._batch_size_for(circuit.num_qubits, shots)
         sizes = [batch_size] * (shots // batch_size)
@@ -831,6 +872,8 @@ class StatevectorSimulator:
         if noise is not None and noise.is_noiseless:
             noise = None
         program = compile_trajectory_program_cached(circuit, noise)
+        if self.verify_compiled:
+            self._verify_compiled_artifacts(circuit, program)
         implicit = program.terminal is not None and program.terminal.implicit
         n = program.num_qubits
         samples: List[str] = []

@@ -46,6 +46,7 @@ from .passes import (
     TranspileResult,
     _choose_layout,
     _finish_result,
+    _notify_stage,
     _pre_route,
     _translate_and_optimize,
     transpile,
@@ -189,6 +190,7 @@ def transpile_cached(
     key = (_signature(circuit), basis_key, coupling_key, int(optimization_level))
     template = _TRANSPILE_CACHE.lookup(key)
     working = _pre_route(circuit)
+    _notify_stage("decompose", working, source=circuit)
     if template is not None and template.working_signature != _signature(working):
         # A parameter value changed the pre-routing decomposition's shape
         # relative to the cached template (or the template was built from a
@@ -201,7 +203,12 @@ def transpile_cached(
         template = _build_template(working, coupling_map, optimization_level)
         _TRANSPILE_CACHE.store(key, template)
     routed = _replay(working, template)
-    translated = _translate_and_optimize(routed, basis_gates, optimization_level)
+    # The replay path is exactly where a stale/corrupt template would emit a
+    # malformed circuit, so verify-each re-checks the replayed output too.
+    _notify_stage("route", routed, source=working, coupling_map=coupling_map)
+    translated = _translate_and_optimize(
+        routed, basis_gates, optimization_level, coupling_map=coupling_map
+    )
     return _finish_result(
         circuit,
         translated,

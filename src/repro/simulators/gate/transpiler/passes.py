@@ -26,7 +26,37 @@ from .layout import Layout, greedy_layout, trivial_layout
 from .optimize import optimize_circuit
 from .routing import route_circuit
 
-__all__ = ["TranspileResult", "transpile"]
+__all__ = ["TranspileResult", "transpile", "set_stage_hook"]
+
+# Verify-each hook (``analysis.set_verify_each``).  ``None`` — the
+# production default — costs one identity check per stage; an installed hook
+# receives every stage's freshly built output circuit.
+_STAGE_HOOK = None
+
+
+def set_stage_hook(hook) -> None:
+    """Install (or clear, with ``None``) the post-stage verification hook.
+
+    The hook is called as ``hook(stage, circuit, source=..., coupling_map=...,
+    basis_gates=...)`` after each pipeline stage (``"decompose"``,
+    ``"route"``, ``"translate"``, ``"optimize"``) in both the direct
+    :func:`transpile` path and the cached replay path.  Installed by
+    :func:`repro.simulators.gate.analysis.set_verify_each`.
+    """
+    global _STAGE_HOOK
+    _STAGE_HOOK = hook
+
+
+def _notify_stage(stage, circuit, *, source=None, coupling_map=None, basis_gates=None):
+    hook = _STAGE_HOOK
+    if hook is not None:
+        hook(
+            stage,
+            circuit,
+            source=source,
+            coupling_map=coupling_map,
+            basis_gates=basis_gates,
+        )
 
 # Basis used to normalise circuits before routing (everything <= 2 qubits).
 _PRE_ROUTING_BASIS = (
@@ -68,13 +98,30 @@ def _translate_and_optimize(
     routed: Circuit,
     basis_gates: Optional[Sequence[str]],
     optimization_level: int,
+    *,
+    coupling_map: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> Circuit:
     """Stages 4-5: basis translation (SWAPs included) and peephole passes."""
     translated = decompose_to_basis(routed, basis_gates) if basis_gates else routed
+    _notify_stage(
+        "translate",
+        translated,
+        source=routed,
+        coupling_map=coupling_map,
+        basis_gates=basis_gates,
+    )
     if optimization_level >= 1:
         translated = optimize_circuit(translated)
     if optimization_level >= 2:
         translated = optimize_circuit(translated, iterations=8)
+    if optimization_level >= 1:
+        _notify_stage(
+            "optimize",
+            translated,
+            source=routed,
+            coupling_map=coupling_map,
+            basis_gates=basis_gates,
+        )
     return translated
 
 
@@ -130,6 +177,7 @@ def transpile(
 
     # 1. normalise to <=2-qubit gates so routing has something it understands.
     working = _pre_route(circuit)
+    _notify_stage("decompose", working, source=circuit)
 
     # 2. layout selection.
     if initial_layout is None:
@@ -137,9 +185,12 @@ def transpile(
 
     # 3. routing.
     routing = route_circuit(working, coupling_map, initial_layout=initial_layout)
+    _notify_stage("route", routing.circuit, source=working, coupling_map=coupling_map)
 
     # 4-5. basis translation and optimisation.
-    translated = _translate_and_optimize(routing.circuit, basis_gates, optimization_level)
+    translated = _translate_and_optimize(
+        routing.circuit, basis_gates, optimization_level, coupling_map=coupling_map
+    )
 
     return _finish_result(
         circuit,

@@ -53,6 +53,7 @@ from ..backends.runtime import submit
 from ..problems.maxcut import MaxCutProblem
 from ..simulators.gate.batched import BatchedStatevector
 from ..simulators.gate.circuit import Circuit
+from ..simulators.gate.dtypes import CANONICAL_COMPLEX
 from ..simulators.gate.noise import NoiseModel
 from ..simulators.gate.statevector import DEFAULT_MAX_BATCH_MEMORY, Statevector
 from .maxcut import default_gate_context, maxcut_register
@@ -94,7 +95,7 @@ def _rzz_column_diagonal(thetas: np.ndarray) -> np.ndarray:
 def _rx_column_matrices(thetas: np.ndarray) -> np.ndarray:
     """Per-column ``rx(theta_c)`` matrices, shape ``(2, 2, batch)``."""
     half = 0.5 * np.asarray(thetas, dtype=np.float64)
-    c = np.cos(half).astype(np.complex128)
+    c = np.cos(half).astype(CANONICAL_COMPLEX)
     s = -1j * np.sin(half)
     return np.stack([np.stack([c, s]), np.stack([s, c])])
 
@@ -301,7 +302,7 @@ class VariationalEvaluator:
         """Evolve one chunk of candidates and reduce to expected cuts."""
         n = self.problem.num_nodes
         batch = len(garr)
-        state = BatchedStatevector(n, batch, dtype=np.complex128)
+        state = BatchedStatevector(n, batch, dtype=CANONICAL_COMPLEX)
         state.fill_uniform()
         edges, weights = self.problem.edges, self.problem.weights
         for layer in range(self.reps):

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.simulators.gate import analysis
+
 from repro.core import (
     AnnealPolicy,
     ContextDescriptor,
@@ -11,6 +13,25 @@ from repro.core import (
     phase_register,
 )
 from repro.problems import MaxCutProblem
+
+
+@pytest.fixture(scope="session", autouse=True)
+def verify_each_compile():
+    """Verify every compiled artifact produced anywhere in the test session.
+
+    Installs the IR-verifier hooks (``repro.simulators.gate.analysis``) for the
+    whole session: every fusion template, bound trajectory program and
+    transpiler stage output compiled by any test is checked against the IR/TR
+    rule catalog at the moment it is produced, so a compiler regression fails
+    loudly at its source instead of as a downstream statistics mismatch.
+    Production keeps the hooks off; this fixture is the test-only "verify
+    each" switch.
+    """
+    analysis.set_verify_each(True)
+    try:
+        yield
+    finally:
+        analysis.set_verify_each(False)
 
 
 @pytest.fixture
