@@ -1,0 +1,243 @@
+"""Stabilizer tableau engine benchmark: QEC cycles at 50-1000+ qubits.
+
+Times the ISSUE 7 tentpole and writes ``BENCH_stabilizer.json`` at the
+repository root:
+
+* **headline** — the acceptance configuration: 4 patches of distance-7
+  circuit-level repetition cycles (52 qubits, 7 rounds) at 1024 shots must
+  finish in **under a second**, with seeded counts bit-identical across
+  ``trajectory_workers`` settings.
+* **repetition width sweep** — wall clock per 1024 shots of one
+  syndrome-extraction round at distances 25 to 501 (49 to 1001 physical
+  qubits), demonstrating the polynomial tableau scaling far beyond any
+  amplitude engine's reach.
+* **surface width sweep** — two rounds of rotated-surface-code extraction
+  at distances 5/9/13 (49 to 337 qubits).
+* **logical error rates** — code-capacity repetition memory at distances
+  3/5/7 decoded against :class:`~repro.services.qec.RepetitionCodeModel`'s
+  closed form; each measured rate must sit within five binomial standard
+  deviations of the prediction.
+
+Run standalone (``python benchmarks/bench_stabilizer.py``), as a quick CI
+smoke (``--smoke``: tiny rows, no JSON written), or via pytest
+(``pytest benchmarks/bench_stabilizer.py``, which asserts the floors).
+"""
+
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.services.qec import (
+    QECService,
+    RepetitionCodeModel,
+    repetition_code_circuit,
+    surface_code_cycle_circuit,
+)
+from repro.simulators.gate import NoiseModel, StatevectorSimulator
+
+SEED = 41
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_stabilizer.json"
+
+#: Circuit-level noise rates of the scaling sweeps (QEC-flavoured: rare 1q
+#: errors, 2q errors five times more likely).
+SWEEP_NOISE = {"oneq_error": 0.001, "twoq_error": 0.005}
+
+#: The headline acceptance bound: 52 qubits, 1024 shots, under a second.
+HEADLINE_BUDGET_S = 1.0
+
+#: Repetition distances of the width sweep (2d - 1 physical qubits each).
+REPETITION_DISTANCES = (25, 51, 125, 251, 501)
+
+#: Rotated-surface-code distances of the width sweep (2d^2 - 1 qubits each).
+SURFACE_DISTANCES = (5, 9, 13)
+
+
+def bench_headline(shots=1024, rounds=7, patches=4):
+    """The acceptance row: 4 x d=7 cycles, <1 s, worker bit-identity."""
+    service = QECService()
+    start = time.perf_counter()
+    result = service.run_repetition_memory(
+        7,
+        physical_error_rate=0.002,
+        rounds=rounds,
+        patches=patches,
+        shots=shots,
+        seed=SEED,
+    )
+    elapsed = time.perf_counter() - start
+    threaded = service.run_repetition_memory(
+        7,
+        physical_error_rate=0.002,
+        rounds=rounds,
+        patches=patches,
+        shots=shots,
+        seed=SEED,
+        trajectory_workers=4,
+    )
+    identical = threaded.logical_failures == result.logical_failures
+    assert identical, "trajectory_workers changed seeded QEC failures"
+    return {
+        "distance": 7,
+        "rounds": rounds,
+        "patches": patches,
+        "num_qubits": result.num_qubits,
+        "shots": shots,
+        "wall_s": round(elapsed, 4),
+        "budget_s": HEADLINE_BUDGET_S,
+        "within_budget": elapsed < HEADLINE_BUDGET_S,
+        "logical_error_rate": result.logical_error_rate,
+        "seeded_counts_worker_invariant": identical,
+    }
+
+
+def bench_repetition_widths(distances, shots):
+    """Wall clock of one noisy syndrome round per 1024-shot-equivalent."""
+    noise = NoiseModel(**SWEEP_NOISE)
+    rows = []
+    for distance in distances:
+        circuit = repetition_code_circuit(distance, rounds=1)
+        simulator = StatevectorSimulator(
+            noise_model=noise, trajectory_engine="stabilizer"
+        )
+        start = time.perf_counter()
+        result = simulator.run(circuit, shots=shots, seed=SEED)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "distance": distance,
+                "num_qubits": circuit.num_qubits,
+                "shots": shots,
+                "wall_s": round(elapsed, 4),
+                "shots_per_s": round(shots / elapsed, 1),
+                "num_batches": result.metadata["num_batches"],
+            }
+        )
+    return rows
+
+
+def bench_surface_widths(distances, shots, rounds=2):
+    """Wall clock of *rounds* rotated-surface-code extraction rounds."""
+    noise = NoiseModel(**SWEEP_NOISE)
+    rows = []
+    for distance in distances:
+        circuit = surface_code_cycle_circuit(distance, rounds=rounds)
+        simulator = StatevectorSimulator(
+            noise_model=noise, trajectory_engine="stabilizer"
+        )
+        start = time.perf_counter()
+        simulator.run(circuit, shots=shots, seed=SEED)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "distance": distance,
+                "rounds": rounds,
+                "num_qubits": circuit.num_qubits,
+                "shots": shots,
+                "wall_s": round(elapsed, 4),
+            }
+        )
+    return rows
+
+
+def bench_logical_error_rates(shots, patches=4, physical_error_rate=0.2):
+    """Code-capacity memory vs the closed-form model at distances 3/5/7."""
+    service = QECService()
+    model = RepetitionCodeModel()
+    rows = []
+    for distance in (3, 5, 7):
+        result = service.run_repetition_memory(
+            distance,
+            physical_error_rate=physical_error_rate,
+            patches=patches,
+            shots=shots,
+            seed=SEED,
+            code_capacity=True,
+        )
+        predicted = model.logical_error_rate(distance, physical_error_rate)
+        samples = shots * patches
+        sigma = math.sqrt(max(predicted * (1.0 - predicted), 1e-12) / samples)
+        deviation = abs(result.logical_error_rate - predicted)
+        within = deviation < 5.0 * sigma
+        assert within, (
+            f"d={distance}: measured {result.logical_error_rate} vs "
+            f"predicted {predicted} (5 sigma = {5.0 * sigma})"
+        )
+        rows.append(
+            {
+                "distance": distance,
+                "physical_error_rate": physical_error_rate,
+                "shots": shots,
+                "patches": patches,
+                "measured": result.logical_error_rate,
+                "predicted": predicted,
+                "deviation_sigma": round(deviation / sigma, 2),
+                "within_5_sigma": within,
+            }
+        )
+    return rows
+
+
+def run_suite(
+    write=True,
+    *,
+    repetition_distances=REPETITION_DISTANCES,
+    surface_distances=SURFACE_DISTANCES,
+    sweep_shots=1024,
+    surface_shots=256,
+    rate_shots=4096,
+):
+    """Time every section and (optionally) write the JSON record."""
+    record = {
+        "benchmark": "stabilizer",
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "headline": bench_headline(),
+        "repetition_widths": bench_repetition_widths(repetition_distances, sweep_shots),
+        "surface_widths": bench_surface_widths(surface_distances, surface_shots),
+        "logical_error_rates": bench_logical_error_rates(rate_shots),
+    }
+    if write:
+        OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def smoke_suite():
+    """Tiny fast-lane rows: every section runs, identities hold, no JSON."""
+    return run_suite(
+        write=False,
+        repetition_distances=(25, 51),
+        surface_distances=(5,),
+        sweep_shots=256,
+        surface_shots=64,
+        rate_shots=1024,
+    )
+
+
+def test_stabilizer_floors():
+    """Headline <1 s at 52 qubits; sweep reaches 1000+ qubits; rates match."""
+    record = run_suite()
+    headline = record["headline"]
+    assert headline["num_qubits"] == 52
+    assert headline["within_budget"], record
+    assert headline["seeded_counts_worker_invariant"]
+    widest = max(row["num_qubits"] for row in record["repetition_widths"])
+    assert widest >= 1000, record
+    assert all(row["within_5_sigma"] for row in record["logical_error_rates"])
+
+
+def test_stabilizer_smoke():
+    """Fast-lane subset: headline budget + closed-form identity still hold."""
+    record = smoke_suite()
+    assert record["headline"]["within_budget"], record
+    assert record["headline"]["seeded_counts_worker_invariant"]
+    assert all(row["within_5_sigma"] for row in record["logical_error_rates"])
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        print(json.dumps(smoke_suite(), indent=2))
+    else:
+        print(json.dumps(run_suite(), indent=2))

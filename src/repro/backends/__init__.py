@@ -5,7 +5,12 @@ from .base import Backend, ExecutionResult
 from .exact_backend import ExactBackend
 from .gate_backend import GateBackend
 from .lowering import GATE_LOWERING_RULES, QubitAllocation, lower_operator, register_gate_lowering
-from .registry import get_backend, list_engines, register_backend
+from .registry import (
+    get_backend,
+    list_engines,
+    register_backend,
+    resolve_trajectory_engine,
+)
 from .runtime import submit
 
 __all__ = [
@@ -18,6 +23,7 @@ __all__ = [
     "get_backend",
     "list_engines",
     "register_backend",
+    "resolve_trajectory_engine",
     "submit",
     "GATE_LOWERING_RULES",
     "QubitAllocation",

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.bundle import JobBundle
 from ..core.context import ContextDescriptor, ExecPolicy
-from ..core.errors import BackendError
+from ..core.errors import BackendError, UnsupportedGateError
 from ..results.counts import Counts
 from ..simulators.gate.circuit import Circuit
 from ..simulators.gate.noise import NoiseModel
@@ -94,13 +94,22 @@ class GateBackend(Backend):
             Byte budget for the batched engine's per-chunk working set;
             ``None`` disables chunking.
         ``trajectory_engine`` (``"batched"`` | ``"reference"`` |
-            ``"density"``, default ``"batched"``)
+            ``"density"`` | ``"stabilizer"`` | ``"auto"``, default
+            ``"batched"``)
             Which engine executes noisy / mid-circuit-measuring circuits.
             ``"density"`` routes the whole run through the exact
             density-matrix oracle (closed-form probabilities, noise as CPTP
             maps; capped at
             :data:`~repro.simulators.gate.density.MAX_DENSITY_QUBITS`
-            qubits).
+            qubits).  ``"stabilizer"`` runs the whole circuit on the
+            batched Clifford tableau engine — no width cap (hundreds of
+            qubits for QEC cycles), but a non-Clifford gate raises the
+            typed :class:`~repro.core.errors.UnsupportedGateError`
+            (re-raised as-is, never wrapped in a
+            :class:`~repro.core.errors.BackendError`).  ``"auto"`` resolves
+            against the *transpiled* circuit via
+            :func:`~repro.backends.registry.resolve_trajectory_engine`:
+            stabilizer when every gate is Clifford, batched otherwise.
         ``trajectory_dtype`` (``"complex64"`` | ``"complex128"``, default
             ``"complex64"``)
             State dtype of the batched engine.
@@ -163,11 +172,16 @@ class GateBackend(Backend):
 
         noise_model = NoiseModel.from_dict(exec_policy.options.get("noise"))
         max_batch_memory = exec_policy.options.get("max_batch_memory", DEFAULT_MAX_BATCH_MEMORY)
+        trajectory_engine = str(exec_policy.options.get("trajectory_engine", "batched"))
+        if trajectory_engine == "auto":
+            from .registry import resolve_trajectory_engine  # local: import cycle
+
+            trajectory_engine = resolve_trajectory_engine(transpiled.circuit)
         try:
             simulator = StatevectorSimulator(
                 noise_model=noise_model,
                 max_batch_memory=None if max_batch_memory is None else int(max_batch_memory),
-                trajectory_engine=str(exec_policy.options.get("trajectory_engine", "batched")),
+                trajectory_engine=trajectory_engine,
                 trajectory_dtype=str(exec_policy.options.get("trajectory_dtype", "complex64")),
                 # Passed through unconverted: the simulator enforces the
                 # int-or-"auto" contract and coercing here would mask it.
@@ -193,6 +207,11 @@ class GateBackend(Backend):
                 shots=exec_policy.samples,
                 seed=exec_policy.seed,
             )
+        except UnsupportedGateError:
+            # Typed engine-selection signal (non-Clifford gate under the
+            # stabilizer engine): callers and the registry's auto-selection
+            # branch on this type, so it must surface unwrapped.
+            raise
         except Exception as exc:  # noqa: BLE001 - surface as backend failure
             raise BackendError(f"gate backend simulation failed: {exc}") from exc
 

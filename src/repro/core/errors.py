@@ -22,6 +22,7 @@ __all__ = [
     "ServiceError",
     "TranspilerError",
     "SimulationError",
+    "UnsupportedGateError",
 ]
 
 
@@ -91,3 +92,33 @@ class TranspilerError(MiddleLayerError):
 
 class SimulationError(MiddleLayerError):
     """A simulator substrate failed (invalid circuit, dimension mismatch, ...)."""
+
+
+class UnsupportedGateError(SimulationError):
+    """A circuit contains a gate an engine cannot execute (e.g. non-Clifford).
+
+    Raised by the stabilizer compile path when a circuit contains a gate
+    outside the Clifford lowering table.  Carries enough provenance for
+    engine selection and fallback: the backend registry's auto-selection
+    routes such circuits to the batched engine instead of crashing, and the
+    gate backend re-raises this type unchanged (never wrapped in a generic
+    :class:`BackendError`).
+
+    Parameters
+    ----------
+    gate:
+        Name of the offending gate.
+    index:
+        Zero-based position of the gate in the circuit's effective
+        (barrier-free) instruction stream.
+    reason:
+        Optional human-readable explanation appended to the message.
+    """
+
+    def __init__(self, gate: str, index: int, reason: str = ""):
+        message = f"gate {gate!r} at step {index} is not supported"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        self.gate = gate
+        self.index = index

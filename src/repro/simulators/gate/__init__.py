@@ -9,18 +9,24 @@ from .density import (
     pauli_terms,
 )
 from .fusion import (
+    CLIFFORD_GATES,
     DEFAULT_COMPILE_CACHE_SIZE,
+    StabilizerProgram,
     TrajectoryProgram,
     clear_compile_caches,
     compile_cache_info,
+    compile_stabilizer_program,
+    compile_stabilizer_program_cached,
     compile_trajectory_program,
     compile_trajectory_program_cached,
+    is_clifford_circuit,
     parametric_cache_clear,
     parametric_cache_info,
     set_compile_cache_size,
 )
 from .gates import GateDef, cached_gate_matrix, gate_matrix, get_gate, has_gate, list_gates
 from .noise import NoiseModel
+from .stabilizer import PRIMITIVE_GATES, StabilizerTableau, execute_stabilizer_program
 from .threads import limit_blas_threads
 from .statevector import (
     DEFAULT_MAX_BATCH_MEMORY,
@@ -41,6 +47,7 @@ from .analysis import (
     set_verify_each,
     verify_each_enabled,
     verify_program,
+    verify_stabilizer_program,
     verify_stage,
     verify_template,
 )
@@ -60,6 +67,14 @@ __all__ = [
     "has_gate",
     "list_gates",
     "NoiseModel",
+    "PRIMITIVE_GATES",
+    "StabilizerTableau",
+    "StabilizerProgram",
+    "execute_stabilizer_program",
+    "CLIFFORD_GATES",
+    "is_clifford_circuit",
+    "compile_stabilizer_program",
+    "compile_stabilizer_program_cached",
     "TrajectoryProgram",
     "compile_trajectory_program",
     "compile_trajectory_program_cached",
@@ -90,6 +105,7 @@ __all__ = [
     "set_verify_each",
     "verify_each_enabled",
     "verify_program",
+    "verify_stabilizer_program",
     "verify_template",
     "verify_stage",
 ]

@@ -5,8 +5,8 @@ linter, lives in ``tools/lint_invariants.py``; ``tools/analyze.py`` drives
 both).  This package exposes:
 
 * :func:`verify_program` / :func:`verify_template` /
-  :func:`verify_result_metadata` — contract checks over compiled fusion
-  artifacts (rules ``IR001``-``IR008``);
+  :func:`verify_stabilizer_program` / :func:`verify_result_metadata` —
+  contract checks over compiled fusion artifacts (rules ``IR001``-``IR010``);
 * :func:`verify_stage` — contract checks over transpiler stage outputs
   (rules ``TR001``-``TR006``);
 * :func:`set_verify_each` — install (or remove) verification hooks inside the
@@ -32,6 +32,7 @@ from .verifier import (
     verify_program,
     verify_result,
     verify_result_metadata,
+    verify_stabilizer_program,
     verify_template,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "STAGES",
     "STATEVECTOR_KINDS",
     "verify_program",
+    "verify_stabilizer_program",
     "verify_template",
     "verify_result",
     "verify_result_metadata",
@@ -69,6 +71,13 @@ def _program_hook(program, circuit) -> None:
     verify_program(program).raise_if_failed()
 
 
+def _stabilizer_hook(program, circuit) -> None:
+    """Post-``compile_stabilizer_program`` hook: verify the fresh program."""
+    if verification_active():
+        return
+    verify_stabilizer_program(program).raise_if_failed()
+
+
 def _stage_hook(stage, circuit, *, source=None, coupling_map=None, basis_gates=None) -> None:
     """Post-transpiler-stage hook: verify one stage's output circuit."""
     if verification_active():
@@ -87,7 +96,8 @@ def set_verify_each(enabled: bool) -> None:
 
     With ``enabled=True`` every template produced by
     ``compile_parametric_template``, every program produced by
-    ``ParametricTemplate.bind`` and every transpiler stage output is verified
+    ``ParametricTemplate.bind``, every stabilizer program produced by
+    ``compile_stabilizer_program`` and every transpiler stage output is verified
     on the spot (cache *misses* only — cached artifacts were verified when
     first built); a failure raises
     :class:`~.diagnostics.IRVerificationError` at the point of production.
@@ -99,10 +109,10 @@ def set_verify_each(enabled: bool) -> None:
     from ..transpiler.passes import set_stage_hook
 
     if enabled:
-        set_compile_verify_hooks(_template_hook, _program_hook)
+        set_compile_verify_hooks(_template_hook, _program_hook, _stabilizer_hook)
         set_stage_hook(_stage_hook)
     else:
-        set_compile_verify_hooks(None, None)
+        set_compile_verify_hooks(None, None, None)
         set_stage_hook(None)
     _VERIFY_EACH = bool(enabled)
 

@@ -21,7 +21,14 @@ checkable:
   documented ``statevector_kind``, ``compiled_steps`` for trajectory runs);
 * ``IR008`` — cache-key soundness: a template's structural decisions must be
   invariant under parameter substitution, verified by recompiling the source
-  circuit with symbolically perturbed parameters and comparing recipes.
+  circuit with symbolically perturbed parameters and comparing recipes;
+* ``IR009`` — stabilizer-program well-formedness: every Clifford step names a
+  tableau primitive with the right operand count, Pauli-channel rates are
+  probabilities, and measure/reset/terminal operands are in bounds;
+* ``IR010`` — tableau symplectic invariant: executing the program's Clifford
+  steps on a probe tableau preserves the binary symplectic commutation
+  structure (checked after every step at verifier widths, once at the end
+  for very wide programs).
 
 Failures are :class:`~.diagnostics.IRDiagnostic` values with step provenance,
 never bare asserts; see :mod:`~.diagnostics`.
@@ -36,22 +43,27 @@ import numpy as np
 
 from ..circuit import Circuit, Instruction
 from ..fusion import (
+    CliffordStep,
     GateStep,
     MeasureStep,
     NoiseEvent,
     ParametricTemplate,
+    PauliChannelStep,
     ResetStep,
+    StabilizerProgram,
     StepRecipe,
     TerminalSample,
     TrajectoryProgram,
     compile_parametric_template,
 )
 from ..kernels import build_plan
+from ..stabilizer import PRIMITIVE_GATES, StabilizerTableau
 from .diagnostics import VerificationReport
 
 __all__ = [
     "IR_RULES",
     "verify_program",
+    "verify_stabilizer_program",
     "verify_template",
     "verify_result",
     "verify_result_metadata",
@@ -68,7 +80,19 @@ IR_RULES = {
     "IR006": "terminal-sample contract (implicit covers all qubits in order)",
     "IR007": "result metadata contract (implicit_measurement / statevector_kind / compiled_steps)",
     "IR008": "structural cache key invariant under parameter substitution",
+    "IR009": "stabilizer program well-formed (primitives, operands, Pauli-channel rates)",
+    "IR010": "tableau symplectic invariant preserved by the compiled Clifford steps",
 }
+
+#: Operand count of every tableau primitive (the IR009 arity table).
+_PRIMITIVE_ARITY = {
+    name: (2 if name in ("cx", "cz", "swap") else 1) for name in PRIMITIVE_GATES
+}
+
+#: Width bound for the IR010 per-step symplectic probe.  The Gram-matrix
+#: check is O(n^3); beyond this width the probe checks once after the full
+#: Clifford stream instead of after every step.
+_SYMPLECTIC_STEPWISE_QUBITS = 24
 
 #: ``statevector_kind`` values documented by ``StatevectorSimulator.run``.
 STATEVECTOR_KINDS = ("pre_measurement", "final_trajectory", "none")
@@ -350,6 +374,112 @@ def verify_program(program: TrajectoryProgram) -> VerificationReport:
                     f"unknown step kind {type(step).__name__}",
                 )
         _check_terminal(report, program.terminal, num_qubits, program.num_clbits)
+    return report
+
+
+def verify_stabilizer_program(program: StabilizerProgram) -> VerificationReport:
+    """Verify one compiled :class:`StabilizerProgram` (IR001/IR006/IR009/IR010).
+
+    Structural pass (IR009 plus the shared bounds/terminal rules): every
+    :class:`~repro.simulators.gate.fusion.CliffordStep` must name a tableau
+    primitive with the primitive's operand count and distinct in-bounds
+    qubits; every
+    :class:`~repro.simulators.gate.fusion.PauliChannelStep` rate must be a
+    finite probability in ``[0, 1]`` over in-bounds qubits; measure, reset
+    and terminal operands must be in bounds (implicit terminal sampling must
+    cover every qubit in order, as for trajectory programs).
+
+    Dynamic pass (IR010), run only when the structural pass is clean: the
+    program's Clifford steps execute on a one-shot probe
+    :class:`~repro.simulators.gate.stabilizer.StabilizerTableau` and the
+    binary symplectic Gram invariant is checked after every step (once at
+    the end beyond ``24`` qubits, where the per-step cubic check would
+    dominate) — a wrong tableau update rule cannot pass.  Pauli channels,
+    measurements and resets never change the shared bit structure's
+    symplectic property, so the gate stream alone decides the invariant.
+    """
+    report = VerificationReport("stabilizer program")
+    with _guarded():
+        num_qubits = program.num_qubits
+        width = program.bits_width
+        for index, step in enumerate(program.steps):
+            location = f"steps[{index}]"
+            if isinstance(step, CliffordStep):
+                arity = _PRIMITIVE_ARITY.get(step.name)
+                if arity is None:
+                    report.add(
+                        "IR009",
+                        location,
+                        f"{step.name!r} is not a tableau primitive "
+                        f"{tuple(sorted(_PRIMITIVE_ARITY))}",
+                    )
+                    continue
+                if len(step.qubits) != arity:
+                    report.add(
+                        "IR009",
+                        location,
+                        f"primitive {step.name!r} takes {arity} operand(s), "
+                        f"got {step.qubits}",
+                    )
+                    continue
+                _check_qubits(report, step.qubits, num_qubits, location)
+            elif isinstance(step, PauliChannelStep):
+                rate = step.rate
+                if not (np.isfinite(rate) and 0.0 <= rate <= 1.0):
+                    report.add(
+                        "IR009",
+                        location,
+                        f"Pauli-channel rate {rate!r} is not a probability in [0, 1]",
+                    )
+                _check_qubits(report, step.qubits, num_qubits, location)
+            elif isinstance(step, MeasureStep):
+                if not 0 <= step.qubit < num_qubits:
+                    report.add(
+                        "IR001", location, f"measured qubit {step.qubit} out of range"
+                    )
+                if not 0 <= step.clbit < width:
+                    report.add(
+                        "IR001",
+                        location,
+                        f"clbit {step.clbit} out of range for bit width {width}",
+                    )
+            elif isinstance(step, ResetStep):
+                if not 0 <= step.qubit < num_qubits:
+                    report.add(
+                        "IR001", location, f"reset qubit {step.qubit} out of range"
+                    )
+            else:
+                report.add(
+                    "IR009",
+                    location,
+                    f"unknown stabilizer step kind {type(step).__name__}",
+                )
+        _check_terminal(report, program.terminal, num_qubits, program.num_clbits)
+        if report.ok:
+            stepwise = num_qubits <= _SYMPLECTIC_STEPWISE_QUBITS
+            probe = StabilizerTableau(num_qubits, 1)
+            checked_any = False
+            for index, step in enumerate(program.steps):
+                if not isinstance(step, CliffordStep):
+                    continue
+                probe.apply_gate(step.name, step.qubits)
+                checked_any = True
+                if stepwise and not probe.is_symplectic():
+                    report.add(
+                        "IR010",
+                        f"steps[{index}]",
+                        f"tableau lost the symplectic invariant after "
+                        f"{step.name!r} on {step.qubits}",
+                    )
+                    break
+            if report.ok and checked_any and not stepwise:
+                if not probe.is_symplectic():
+                    report.add(
+                        "IR010",
+                        "steps",
+                        "tableau lost the symplectic invariant over the "
+                        "Clifford stream",
+                    )
     return report
 
 

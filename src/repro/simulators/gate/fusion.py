@@ -96,6 +96,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ...core.errors import UnsupportedGateError
 from .circuit import Circuit, Instruction
 from .gates import cached_gate_matrix, cached_gate_plan
 from .kernels import MatrixPlan, build_plan, operator_stack
@@ -111,6 +112,13 @@ __all__ = [
     "TrajectoryProgram",
     "StepRecipe",
     "ParametricTemplate",
+    "CliffordStep",
+    "PauliChannelStep",
+    "StabilizerProgram",
+    "CLIFFORD_GATES",
+    "is_clifford_circuit",
+    "compile_stabilizer_program",
+    "compile_stabilizer_program_cached",
     "compile_parametric_template",
     "compile_trajectory_program",
     "compile_trajectory_program_cached",
@@ -132,21 +140,25 @@ _ID2 = np.eye(2, dtype=np.complex128)
 # misses only: cached templates and programs were verified when built).
 _TEMPLATE_HOOK = None
 _PROGRAM_HOOK = None
+_STABILIZER_HOOK = None
 
 
-def set_compile_verify_hooks(template_hook, program_hook) -> None:
+def set_compile_verify_hooks(template_hook, program_hook, stabilizer_hook=None) -> None:
     """Install (or clear, with ``None``) the post-compile verification hooks.
 
     *template_hook* is called as ``hook(template, circuit)`` at the end of
     every uncached :func:`compile_parametric_template`; *program_hook* as
     ``hook(program, circuit)`` at the end of every
-    :meth:`ParametricTemplate.bind`.  Installed by
+    :meth:`ParametricTemplate.bind`; *stabilizer_hook* as
+    ``hook(program, circuit)`` at the end of every uncached
+    :func:`compile_stabilizer_program`.  Installed by
     :func:`repro.simulators.gate.analysis.set_verify_each`; do not call
     directly unless you are building a custom verification collector.
     """
-    global _TEMPLATE_HOOK, _PROGRAM_HOOK
+    global _TEMPLATE_HOOK, _PROGRAM_HOOK, _STABILIZER_HOOK
     _TEMPLATE_HOOK = template_hook
     _PROGRAM_HOOK = program_hook
+    _STABILIZER_HOOK = stabilizer_hook
 
 
 @dataclass(frozen=True)
@@ -213,6 +225,60 @@ class TerminalSample:
 @dataclass
 class TrajectoryProgram:
     """A compiled instruction stream for the batched trajectory engine."""
+
+    num_qubits: int
+    num_clbits: int
+    steps: List[object] = field(default_factory=list)
+    terminal: Optional[TerminalSample] = None
+
+    @property
+    def bits_width(self) -> int:
+        """Width of the per-shot classical-bit rows the program produces."""
+        if self.terminal is not None and self.terminal.implicit:
+            return self.num_qubits
+        return self.num_clbits
+
+
+@dataclass(frozen=True)
+class CliffordStep:
+    """One primitive Clifford gate of a compiled stabilizer program.
+
+    ``name`` is drawn from the tableau's primitive set
+    (:data:`~repro.simulators.gate.stabilizer.PRIMITIVE_GATES`); wider
+    library Cliffords are lowered onto sequences of these at compile time.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PauliChannelStep:
+    """One gate's depolarizing channel, lowered to Pauli-frame form.
+
+    Each qubit of ``qubits`` is struck independently with probability
+    ``rate``; a struck trajectory applies a uniformly drawn X, Y or Z.  On a
+    tableau this is pure phase (sign) information — a Pauli-frame twirl of
+    the same per-qubit depolarizing channel the trajectory engines' conjugated
+    :class:`NoiseEvent` streams encode (depolarizing is already a Pauli
+    channel, so the twirl is exact, not an approximation).
+    """
+
+    qubits: Tuple[int, ...]
+    rate: float
+
+
+@dataclass
+class StabilizerProgram:
+    """A compiled instruction stream for the stabilizer tableau engine.
+
+    Steps are :class:`CliffordStep`, :class:`PauliChannelStep`,
+    :class:`MeasureStep` and :class:`ResetStep`; trailing measurements are
+    peeled into the same :class:`TerminalSample` contract (implicit terminal
+    measurement included) as :class:`TrajectoryProgram`, so the engines share
+    one result-semantics contract.  Immutable after compilation and safe to
+    execute from many shot chunks concurrently.
+    """
 
     num_qubits: int
     num_clbits: int
@@ -796,7 +862,7 @@ def _peel_terminal(
         ):
             terminal_positions.append(position)
             continue
-        if isinstance(step, (GateStep, StepRecipe)):
+        if isinstance(step, (GateStep, StepRecipe, CliffordStep, PauliChannelStep)):
             touched.update(step.qubits)
         elif isinstance(step, MeasureStep):
             touched.add(step.qubit)
@@ -816,6 +882,112 @@ def _peel_terminal(
     return steps, None
 
 
+# -- stabilizer compile path ---------------------------------------------------------
+
+#: Clifford lowering table: library gate name -> tuple of primitive
+#: ``(name, operand-index-tuple)`` emissions.  Operand indices select into the
+#: instruction's qubit tuple, so ``cy`` on ``(c, t)`` lowers to
+#: ``sdg(t), cx(c, t), s(t)``.  Gates outside this table (or any gate carrying
+#: parameters) are non-Clifford for the tableau engine.
+CLIFFORD_GATES: Dict[str, Tuple[Tuple[str, Tuple[int, ...]], ...]] = {
+    "id": (),
+    "x": (("x", (0,)),),
+    "y": (("y", (0,)),),
+    "z": (("z", (0,)),),
+    "h": (("h", (0,)),),
+    "s": (("s", (0,)),),
+    "sdg": (("sdg", (0,)),),
+    # SX = e^{i pi/4} S† H S† and SX† = e^{-i pi/4} S H S; global phase is
+    # unobservable, so the lowering is exact for sampling.
+    "sx": (("sdg", (0,)), ("h", (0,)), ("sdg", (0,))),
+    "sxdg": (("s", (0,)), ("h", (0,)), ("s", (0,))),
+    "cx": (("cx", (0, 1)),),
+    "cz": (("cz", (0, 1)),),
+    # CY = (I ⊗ S) CX (I ⊗ S†).
+    "cy": (("sdg", (1,)), ("cx", (0, 1)), ("s", (1,))),
+    # iSWAP = CZ (S ⊗ S) SWAP.
+    "iswap": (("swap", (0, 1)), ("s", (0,)), ("s", (1,)), ("cz", (0, 1))),
+    "swap": (("swap", (0, 1)),),
+}
+
+
+def is_clifford_circuit(circuit: Circuit) -> bool:
+    """Whether every gate of *circuit* lowers onto the stabilizer tableau.
+
+    True exactly when :func:`compile_stabilizer_program` would succeed:
+    every effective (barrier-free) instruction is a measure, a reset, or a
+    parameter-free gate in :data:`CLIFFORD_GATES`.  Used by the backend
+    registry's ``trajectory_engine="auto"`` resolution.
+    """
+    for inst in circuit.instructions:
+        if inst.name in ("barrier", "measure", "reset"):
+            continue
+        if inst.params or inst.name not in CLIFFORD_GATES:
+            return False
+    return True
+
+
+def compile_stabilizer_program(
+    circuit: Circuit, noise_model: Optional[NoiseModel] = None
+) -> StabilizerProgram:
+    """Compile *circuit* (and optional noise) into a :class:`StabilizerProgram`.
+
+    Classifies every gate as Clifford or non-Clifford: Cliffords are lowered
+    onto the tableau primitive set via :data:`CLIFFORD_GATES`; a parametric
+    gate or a name outside the table raises
+    :class:`~repro.core.errors.UnsupportedGateError` carrying the offending
+    gate name and its effective-instruction index (the hook the backend
+    registry's auto-selection and the gate backend's fallback are built on).
+
+    With a noise model, each source gate instruction is followed by one
+    :class:`PauliChannelStep` over its qubits at the model's per-gate rate
+    (``oneq_error`` / ``twoq_error``) — the Pauli-frame twirled form of the
+    exact per-qubit depolarizing channel the trajectory engines apply, so the
+    engines sample the same distribution on Clifford circuits.  Readout
+    error never enters the program; it is applied at execution time.
+
+    Trailing measurements are peeled into the shared :class:`TerminalSample`
+    contract (implicit terminal measurement over every qubit for
+    measurement-free circuits), identical to the trajectory compiler.
+    """
+    if noise_model is not None and noise_model.is_noiseless:
+        noise_model = None
+    steps: List[object] = []
+    for index, inst in enumerate(_effective_instructions(circuit)):
+        if inst.name == "measure":
+            steps.append(MeasureStep(inst.qubits[0], inst.clbits[0]))
+            continue
+        if inst.name == "reset":
+            steps.append(ResetStep(inst.qubits[0]))
+            continue
+        if inst.params:
+            raise UnsupportedGateError(
+                inst.name, index, "parametric gates are not Clifford"
+            )
+        lowering = CLIFFORD_GATES.get(inst.name)
+        if lowering is None:
+            raise UnsupportedGateError(
+                inst.name, index, "outside the Clifford lowering table"
+            )
+        for name, operands in lowering:
+            steps.append(CliffordStep(name, tuple(inst.qubits[k] for k in operands)))
+        if noise_model is not None:
+            rate = (
+                noise_model.oneq_error
+                if inst.num_qubits == 1
+                else noise_model.twoq_error
+            )
+            if rate > 0.0:
+                steps.append(PauliChannelStep(inst.qubits, rate))
+    steps, terminal = _peel_terminal(steps, circuit)
+    program = StabilizerProgram(circuit.num_qubits, circuit.num_clbits, steps)
+    program.terminal = terminal
+    hook = _STABILIZER_HOOK
+    if hook is not None:
+        hook(program, circuit)
+    return program
+
+
 # -- template + program caches -------------------------------------------------------
 
 #: Default bound on each compile cache (templates and bound programs alike);
@@ -825,6 +997,7 @@ DEFAULT_COMPILE_CACHE_SIZE = DEFAULT_CACHE_SIZE
 
 _TEMPLATE_CACHE = BoundedLRU(DEFAULT_COMPILE_CACHE_SIZE)
 _PROGRAM_CACHE = BoundedLRU(DEFAULT_COMPILE_CACHE_SIZE)
+_STABILIZER_CACHE = BoundedLRU(DEFAULT_COMPILE_CACHE_SIZE)
 
 
 def _structure_key(circuit: Circuit) -> tuple:
@@ -896,6 +1069,30 @@ def compile_trajectory_program_cached(
     return program
 
 
+def compile_stabilizer_program_cached(
+    circuit: Circuit, noise_model: Optional[NoiseModel] = None
+) -> StabilizerProgram:
+    """Compile *circuit* for the tableau engine through a structure-keyed LRU.
+
+    Stabilizer programs carry no parameters (parametric gates are
+    non-Clifford by definition), so the cache key is the circuit structure
+    plus the effective noise rates — a warm QEC cycle re-run (sweeps over
+    seeds, shot counts, distances already compiled) is a dictionary hit.
+    Cached and uncached compilations are the same object stream by
+    construction; an :class:`~repro.core.errors.UnsupportedGateError` is
+    never cached (the compile raises before storing).
+    """
+    if noise_model is not None and noise_model.is_noiseless:
+        noise_model = None
+    key = (_structure_key(circuit), _noise_key(noise_model))
+    program = _STABILIZER_CACHE.lookup(key)
+    if program is not None:
+        return program
+    program = compile_stabilizer_program(circuit, noise_model)
+    _STABILIZER_CACHE.store(key, program)
+    return program
+
+
 def set_compile_cache_size(maxsize: int) -> None:
     """Bound the template and program LRUs (and the transpile cache) at *maxsize*.
 
@@ -908,6 +1105,7 @@ def set_compile_cache_size(maxsize: int) -> None:
         raise ValueError(f"compile cache size must be a positive int, got {maxsize!r}")
     _TEMPLATE_CACHE.set_maxsize(maxsize)
     _PROGRAM_CACHE.set_maxsize(maxsize)
+    _STABILIZER_CACHE.set_maxsize(maxsize)
     from .transpiler import cache as transpile_cache  # local: import cycle
 
     transpile_cache.set_transpile_cache_size(maxsize)
@@ -916,13 +1114,15 @@ def set_compile_cache_size(maxsize: int) -> None:
 def compile_cache_info() -> Dict[str, Dict[str, int]]:
     """Hit/miss/entry counters of every compile-side cache.
 
-    Returns a mapping with three sections: ``"template"`` (structural fusion
-    templates), ``"program"`` (fully bound trajectory programs) and
-    ``"transpile"`` (the transpiler's structure-keyed routing templates).
+    Returns a mapping with four sections: ``"template"`` (structural fusion
+    templates), ``"program"`` (fully bound trajectory programs),
+    ``"stabilizer"`` (compiled tableau programs) and ``"transpile"`` (the
+    transpiler's structure-keyed routing templates).
     """
     info = {
         "template": _TEMPLATE_CACHE.info(),
         "program": _PROGRAM_CACHE.info(),
+        "stabilizer": _STABILIZER_CACHE.info(),
     }
     from .transpiler import cache as transpile_cache  # local: import cycle
 
@@ -931,9 +1131,10 @@ def compile_cache_info() -> Dict[str, Dict[str, int]]:
 
 
 def clear_compile_caches() -> None:
-    """Empty the template, program and transpile caches and reset counters."""
+    """Empty the template, program, stabilizer and transpile caches."""
     _TEMPLATE_CACHE.clear()
     _PROGRAM_CACHE.clear()
+    _STABILIZER_CACHE.clear()
     _pauli_event.cache_clear()
     from .transpiler import cache as transpile_cache  # local: import cycle
 

@@ -40,6 +40,16 @@ A fourth engine sits outside the sampling family:
 computes the outcome distribution in closed form (noise applied as CPTP maps)
 instead of sampling trajectories at all.
 
+A fifth engine lifts the width cap for Clifford circuits:
+``trajectory_engine="stabilizer"`` compiles through the Clifford lowering
+table of :mod:`~repro.simulators.gate.fusion` and samples trajectories on a
+batched Aaronson–Gottesman tableau
+(:mod:`~repro.simulators.gate.stabilizer`), which scales to hundreds of
+qubits (QEC cycles) but raises
+:class:`~repro.core.errors.UnsupportedGateError` on non-Clifford gates.
+``trajectory_engine="auto"`` picks the stabilizer engine for Clifford
+circuits and the batched engine otherwise.
+
 State layout
 ------------
 A single state is stored as a tensor of shape ``(2,) * n`` where axis ``i``
@@ -383,6 +393,16 @@ class StatevectorSimulator:
         sampling error beyond the chosen ``density_sampling`` conversion.
         Width is capped at
         :data:`~repro.simulators.gate.density.MAX_DENSITY_QUBITS` qubits.
+        ``"stabilizer"`` samples trajectories on the batched
+        Aaronson–Gottesman tableau of
+        :mod:`~repro.simulators.gate.stabilizer` — Clifford circuits only
+        (non-Clifford gates raise
+        :class:`~repro.core.errors.UnsupportedGateError`), with no width
+        cap, the same per-chunk ``SeedSequence`` streams as the batched
+        engine (seeded counts bit-identical at every worker count), and
+        gate noise lowered to per-gate Pauli channels at compile time.
+        ``"auto"`` resolves per run: the stabilizer engine when every gate
+        of the circuit is Clifford, the batched engine otherwise.
     density_sampling:
         How the density engine converts exact probabilities to integer
         counts: ``"multinomial"`` (default) draws shots from the exact
@@ -464,10 +484,16 @@ class StatevectorSimulator:
         compile_cache_size: Optional[int] = None,
         verify_compiled: bool = False,
     ):
-        if trajectory_engine not in ("batched", "reference", "density"):
+        if trajectory_engine not in (
+            "batched",
+            "reference",
+            "density",
+            "stabilizer",
+            "auto",
+        ):
             raise SimulationError(
-                f"unknown trajectory engine {trajectory_engine!r}; "
-                "expected 'batched', 'reference' or 'density'"
+                f"unknown trajectory engine {trajectory_engine!r}; expected "
+                "'batched', 'reference', 'density', 'stabilizer' or 'auto'"
             )
         if density_sampling not in ("multinomial", "deterministic"):
             raise SimulationError(
@@ -570,9 +596,21 @@ class StatevectorSimulator:
           sampling never collapses (mid-circuit noise/resets are applied).
         * density engine: a mixed state has no statevector, so the result's
           ``statevector`` is always ``None`` and the kind is ``"none"``.
+        * stabilizer engine: tableaus have no amplitude representation, so
+          the result's ``statevector`` is always ``None`` and the kind is
+          ``"none"`` (the engine runs far beyond the amplitude width cap).
         """
         if shots < 0:
             raise SimulationError("shots must be non-negative")
+        engine = self.trajectory_engine
+        if engine == "auto":
+            from .fusion import is_clifford_circuit  # local: import cycle
+
+            engine = "stabilizer" if is_clifford_circuit(circuit) else "batched"
+        if engine == "stabilizer":
+            # The tableau engine owns the whole run: it has no exact-path
+            # analogue (no amplitudes) and no width cap to fall back under.
+            return self._run_stabilizer(circuit, shots, seed)
         if self.trajectory_engine == "density":
             # The exact oracle handles every construct (noise, mid-circuit
             # measurement, reset) in closed form, so it owns the whole run.
@@ -630,6 +668,106 @@ class StatevectorSimulator:
 
         verify_template(compile_parametric_template(circuit), circuit).raise_if_failed()
         verify_program(program).raise_if_failed()
+
+    # -- stabilizer path ---------------------------------------------------------
+    def _stabilizer_batch_size(self, num_qubits: int, bits_width: int, shots: int) -> int:
+        """Largest tableau chunk whose per-shot memory fits ``max_batch_memory``.
+
+        A stabilizer shot costs ``2 n`` phase bytes plus ``bits_width``
+        outcome bytes (the shared bit matrices are a fixed ``4 n^2`` bytes
+        per chunk, amortised across the batch), so the same byte budget that
+        admits hundreds of amplitude trajectories admits hundreds of
+        thousands of tableau trajectories.  The decomposition depends only on
+        the budget, the width and the shot count — never on
+        ``trajectory_workers`` — preserving bit-identical seeded counts.
+        """
+        if self.max_batch_memory is None:
+            return shots
+        bytes_per_shot = 2 * num_qubits + bits_width
+        return max(1, min(shots, self.max_batch_memory // bytes_per_shot))
+
+    def _run_stabilizer(
+        self, circuit: Circuit, shots: int, seed: Optional[int]
+    ) -> SimulationResult:
+        """Run the whole circuit on the batched stabilizer tableau engine.
+
+        Mirrors the batched amplitude engine's execution policy: the circuit
+        compiles once through the structure-keyed stabilizer cache (Clifford
+        lowering plus Pauli-channel noise steps;
+        :class:`~repro.core.errors.UnsupportedGateError` on non-Clifford
+        gates), the shot axis splits into ``max_batch_memory``-sized chunks,
+        each chunk draws from its own ``SeedSequence``-spawned stream, and
+        ``trajectory_workers`` threads execute the chunks — seeded counts
+        are bit-identical for every worker count.  The result never carries
+        a statevector (``statevector_kind="none"``).
+        """
+        from .fusion import compile_stabilizer_program_cached  # local: import cycle
+        from .stabilizer import execute_stabilizer_program
+
+        noise = self.noise_model
+        if noise is not None and noise.is_noiseless:
+            noise = None
+        metadata: Dict[str, object] = {
+            "method": "trajectories",
+            "statevector_kind": "none",
+            "trajectory_engine": "stabilizer",
+            "trajectory_workers": self.trajectory_workers,
+        }
+        if shots == 0:
+            metadata.update(
+                {"implicit_measurement": False, "num_batches": 0, "batch_size": 0}
+            )
+            return SimulationResult(
+                counts=Counts({}), shots=shots, seed=seed, metadata=metadata
+            )
+        program = compile_stabilizer_program_cached(circuit, noise)
+        if self.verify_compiled:
+            from .analysis import verify_stabilizer_program  # local: import cycle
+
+            verify_stabilizer_program(program).raise_if_failed()
+        implicit = program.terminal is not None and program.terminal.implicit
+        batch_size = self._stabilizer_batch_size(
+            circuit.num_qubits, program.bits_width, shots
+        )
+        sizes = [batch_size] * (shots // batch_size)
+        if shots % batch_size:
+            sizes.append(shots % batch_size)
+        streams = np.random.SeedSequence(seed).spawn(len(sizes))
+
+        def run_chunk(chunk: int) -> np.ndarray:
+            return execute_stabilizer_program(
+                program, sizes[chunk], np.random.default_rng(streams[chunk]), noise
+            )
+
+        workers = min(self.trajectory_workers, len(sizes))
+        if workers <= 1:
+            results = [run_chunk(chunk) for chunk in range(len(sizes))]
+        else:
+            from .threads import limit_blas_threads
+
+            if self.pin_blas_threads:
+                guard = limit_blas_threads(max(1, (os.cpu_count() or 1) // workers))
+            else:
+                guard = nullcontext()
+            with guard, ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(run_chunk, range(len(sizes))))
+        counts = Counts.from_array(np.concatenate(results, axis=0))
+        metadata.update(
+            {
+                "implicit_measurement": implicit,
+                "num_batches": len(sizes),
+                "batch_size": batch_size,
+                "compiled_steps": len(program.steps),
+            }
+        )
+        result = SimulationResult(
+            counts=counts, shots=shots, seed=seed, metadata=metadata
+        )
+        if self.verify_compiled:
+            from .analysis import verify_result  # local: import cycle
+
+            verify_result(result).raise_if_failed()
+        return result
 
     # -- exact path -------------------------------------------------------------
     def _run_exact(

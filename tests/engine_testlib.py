@@ -34,6 +34,12 @@ TWOQ_GATES = (
     ("crx", 1),
 )
 
+# Clifford-only gate pools: every name compiles onto the stabilizer tableau
+# (directly or through the fusion layer's CLIFFORD_GATES lowering), so the
+# generated circuits run on all four engines — including "stabilizer".
+CLIFFORD_ONEQ_GATES = ("h", "x", "y", "z", "s", "sdg", "sx", "sxdg", "id")
+CLIFFORD_TWOQ_GATES = ("cx", "cz", "cy", "swap", "iswap")
+
 
 def random_unitary_circuit(
     rng: np.random.Generator,
@@ -63,6 +69,40 @@ def random_unitary_circuit(
             name, num_params = ONEQ_GATES[rng.integers(len(ONEQ_GATES))]
             qubit = int(rng.integers(num_qubits))
             circuit.append(name, [qubit], [float(rng.uniform(0, 2 * np.pi)) for _ in range(num_params)])
+    return circuit
+
+
+def random_clifford_circuit(
+    rng: np.random.Generator,
+    num_qubits: int,
+    depth: int,
+    *,
+    twoq_fraction: float = 0.4,
+    measure: bool = True,
+) -> Circuit:
+    """A seeded random Clifford circuit for the stabilizer differential sweep.
+
+    Mirrors :func:`random_unitary_circuit` but draws only from the Clifford
+    pools above, so the same circuit is executable by the stabilizer tableau
+    engine *and* the exact amplitude/density engines (at widths the latter
+    can reach).  With *measure* (the default) every qubit is measured at the
+    end, exercising the shared terminal-sampling contract.
+    """
+    circuit = Circuit(num_qubits, num_qubits)
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < twoq_fraction:
+            name = CLIFFORD_TWOQ_GATES[rng.integers(len(CLIFFORD_TWOQ_GATES))]
+            if rng.random() < 0.5:
+                a = int(rng.integers(num_qubits - 1))
+                pair = [a, a + 1] if rng.random() < 0.5 else [a + 1, a]
+            else:
+                pair = list(rng.choice(num_qubits, size=2, replace=False))
+            circuit.append(name, pair)
+        else:
+            name = CLIFFORD_ONEQ_GATES[rng.integers(len(CLIFFORD_ONEQ_GATES))]
+            circuit.append(name, [int(rng.integers(num_qubits))])
+    if measure:
+        circuit.measure_all()
     return circuit
 
 

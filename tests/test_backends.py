@@ -301,3 +301,60 @@ def test_exact_backend_ground_states(cycle4):
     assert result.metadata["ground_energy"] == -4.0
     assert result.metadata["num_ground_states"] == 2
     assert set(result.counts) == {"0101", "1010"}
+
+
+# -- trajectory-engine selection (stabilizer / auto) --------------------------------
+
+def test_resolve_trajectory_engine_classification():
+    from repro.backends import resolve_trajectory_engine
+    from repro.simulators.gate import Circuit
+
+    clifford = Circuit(2, 2)
+    clifford.h(0).cx(0, 1).measure_all()
+    assert resolve_trajectory_engine(clifford) == "stabilizer"
+    non_clifford = Circuit(1, 1)
+    non_clifford.t(0)
+    assert resolve_trajectory_engine(non_clifford) == "batched"
+    # Explicit requests pass through untouched, even when they will fail.
+    assert resolve_trajectory_engine(non_clifford, "stabilizer") == "stabilizer"
+    assert resolve_trajectory_engine(clifford, "density") == "density"
+
+
+def test_gate_backend_auto_selects_stabilizer_for_clifford_bundle(ising_vars):
+    result = run_gate(
+        ising_vars,
+        [prep_uniform(ising_vars), measurement(ising_vars)],
+        samples=512,
+        options={"trajectory_engine": "auto", "noise": {"oneq_error": 0.01}},
+    )
+    assert result.metadata["trajectory_engine"] == "stabilizer"
+    assert sum(result.counts.values()) == 512
+
+
+def test_gate_backend_auto_falls_back_to_batched_for_non_clifford(reg_phase10):
+    # The QFT lowering emits controlled phases (non-Clifford), so auto
+    # selection must route to the batched engine instead of crashing.
+    result = run_gate(
+        reg_phase10,
+        [prep_uniform(reg_phase10), qft_operator(reg_phase10), measurement(reg_phase10)],
+        samples=128,
+        options={"trajectory_engine": "auto", "noise": {"oneq_error": 0.01}},
+    )
+    assert result.metadata["trajectory_engine"] == "batched"
+    assert sum(result.counts.values()) == 128
+
+
+def test_gate_backend_explicit_stabilizer_on_non_clifford_raises_typed(reg_phase10):
+    from repro.core.errors import BackendError, UnsupportedGateError
+
+    with pytest.raises(UnsupportedGateError) as excinfo:
+        run_gate(
+            reg_phase10,
+            [prep_uniform(reg_phase10), qft_operator(reg_phase10), measurement(reg_phase10)],
+            samples=64,
+            options={"trajectory_engine": "stabilizer"},
+        )
+    # The typed selection signal surfaces unwrapped, never as BackendError.
+    assert not isinstance(excinfo.value, BackendError)
+    assert excinfo.value.gate
+    assert excinfo.value.index >= 0

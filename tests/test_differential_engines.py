@@ -26,6 +26,7 @@ from repro.simulators.gate import (
 
 from engine_testlib import (
     chi_square_statistic,
+    random_clifford_circuit,
     random_mixed_circuit,
     random_unitary_circuit,
     total_variation_distance,
@@ -101,7 +102,7 @@ def test_engines_are_seed_deterministic():
     circuit = Circuit(2, 2)
     circuit.h(0).cx(0, 1).measure_all()
     noise = NoiseModel(oneq_error=0.05, readout_error=0.02)
-    for engine in ("batched", "reference", "density"):
+    for engine in ("batched", "reference", "density", "stabilizer"):
         first = engine_counts(circuit, noise, engine, shots=256, seed=11)
         second = engine_counts(circuit, noise, engine, shots=256, seed=11)
         assert dict(first) == dict(second), engine
@@ -124,6 +125,79 @@ def test_batched_seed_determinism_is_worker_invariant():
         trajectory_workers=4,
     )
     assert dict(serial) == dict(threaded)
+
+
+# -- stabilizer tableau engine (quick lane) -----------------------------------------
+
+
+def test_stabilizer_matches_oracle_noisy_bell():
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1).measure_all()
+    noise = NoiseModel(oneq_error=0.05, twoq_error=0.1, readout_error=0.02)
+    exact = exact_distribution(circuit, noise)
+    counts = engine_counts(circuit, noise, "stabilizer")
+    assert total_variation_distance(counts, exact) < tvd_bound(exact, SHOTS)
+
+
+def test_stabilizer_matches_oracle_noisy_ghz():
+    circuit = Circuit(3, 3)
+    circuit.h(0).cx(0, 1).cx(1, 2).measure_all()
+    noise = NoiseModel(oneq_error=0.04, twoq_error=0.08, readout_error=0.01)
+    exact = exact_distribution(circuit, noise)
+    counts = engine_counts(circuit, noise, "stabilizer")
+    assert total_variation_distance(counts, exact) < tvd_bound(exact, SHOTS)
+    assert chi_square_statistic(counts, exact) < 5 * max(len(exact), 4) + 30
+
+
+def test_stabilizer_matches_batched_on_clifford_circuit():
+    # Both trajectory engines sample the same physical distribution; compare
+    # their histograms against each other (statistically) on a random
+    # Clifford circuit the exact engines can also reach.
+    rng = np.random.default_rng(31)
+    circuit = random_clifford_circuit(rng, 3, 15)
+    noise = NoiseModel(oneq_error=0.03, twoq_error=0.06)
+    exact = exact_distribution(circuit, noise)
+    stab = engine_counts(circuit, noise, "stabilizer")
+    batched = engine_counts(circuit, noise, "batched")
+    bound = tvd_bound(exact, SHOTS)
+    assert total_variation_distance(stab, exact) < bound
+    # Empirical-vs-empirical TVD fluctuates at twice the one-sided scale.
+    shots = sum(stab.values())
+    empirical = {key: value / shots for key, value in stab.items()}
+    assert total_variation_distance(batched, empirical) < 2 * bound
+
+
+def test_stabilizer_seed_determinism_is_worker_invariant():
+    rng = np.random.default_rng(13)
+    circuit = random_clifford_circuit(rng, 4, 16)
+    noise = NoiseModel(oneq_error=0.03, twoq_error=0.06, readout_error=0.01)
+    reference = None
+    for workers in (1, 2, 4):
+        counts = engine_counts(
+            circuit,
+            noise,
+            "stabilizer",
+            shots=1024,
+            seed=5,
+            max_batch_memory=1024,
+            trajectory_workers=workers,
+        )
+        if reference is None:
+            reference = dict(counts)
+        assert dict(counts) == reference, workers
+
+
+def test_stabilizer_counts_identical_cold_vs_warm_compile():
+    rng = np.random.default_rng(47)
+    circuit = random_clifford_circuit(rng, 3, 12)
+    noise = NoiseModel(oneq_error=0.05, twoq_error=0.08, readout_error=0.02)
+    clear_compile_caches()
+    cold = engine_counts(circuit, noise, "stabilizer", shots=512, seed=19)
+    info = compile_cache_info()
+    assert info["stabilizer"]["misses"] >= 1
+    warm = engine_counts(circuit, noise, "stabilizer", shots=512, seed=19)
+    assert compile_cache_info()["stabilizer"]["hits"] >= 1
+    assert dict(cold) == dict(warm)
 
 
 # -- noisy compile cache + GEMM path (PR 5) -----------------------------------------
@@ -252,6 +326,29 @@ def test_sweep_noisy_cache_and_gemm_identity(num_qubits, circuit_seed):
             if reference is None:
                 reference = dict(counts)
             assert dict(counts) == reference, (threshold, workers)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("num_qubits", [2, 3, 4])
+@pytest.mark.parametrize("noise_index", range(len(SWEEP_NOISE)))
+@pytest.mark.parametrize("circuit_seed", [0, 1, 2])
+def test_differential_sweep_clifford_circuits(num_qubits, noise_index, circuit_seed):
+    # The stabilizer tentpole sweep: seeded random Clifford circuits checked
+    # against the density oracle (TVD + chi-square) and against the batched
+    # amplitude engine, across the same noise grid as the unitary sweep.
+    noise = SWEEP_NOISE[noise_index]
+    rng = np.random.default_rng(7000 + 1000 * num_qubits + 10 * noise_index + circuit_seed)
+    circuit = random_clifford_circuit(rng, num_qubits, 6 * num_qubits)
+    exact = exact_distribution(circuit, noise)
+    bound = tvd_bound(exact, SHOTS)
+    stab = engine_counts(circuit, noise, "stabilizer", seed=circuit_seed)
+    batched = engine_counts(circuit, noise, "batched", seed=circuit_seed)
+    assert total_variation_distance(stab, exact) < bound
+    assert total_variation_distance(batched, exact) < bound
+    assert chi_square_statistic(stab, exact) < 5 * max(len(exact), 4) + 30
+    # Engine-vs-engine: two empirical histograms of the same distribution.
+    empirical = {key: value / SHOTS for key, value in stab.items()}
+    assert total_variation_distance(batched, empirical) < 2 * bound
 
 
 @pytest.mark.slow

@@ -1,0 +1,316 @@
+"""Property tests for the stabilizer tableau engine (ISSUE 7 tentpole).
+
+Covers the tableau invariants (symplectic form preserved by every gate /
+measure / reset), the Aaronson–Gottesman measurement contract (probabilities
+are exactly 0, 1/2 or 1; repeated measurement is idempotent), the Clifford
+compile path and its typed ``UnsupportedGateError``, engine routing
+(``"auto"`` selection, registry resolution, backend fallback behaviour), the
+seeded chunk-stream determinism guarantees, and the IR009/IR010 verifier
+rules on hand-built broken programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError, UnsupportedGateError
+from repro.simulators.gate import (
+    Circuit,
+    DensityMatrixSimulator,
+    NoiseModel,
+    StabilizerTableau,
+    StatevectorSimulator,
+    clear_compile_caches,
+    compile_cache_info,
+    compile_stabilizer_program,
+    is_clifford_circuit,
+    verify_stabilizer_program,
+)
+from repro.simulators.gate.fusion import (
+    CliffordStep,
+    PauliChannelStep,
+    StabilizerProgram,
+    TerminalSample,
+)
+
+from engine_testlib import random_clifford_circuit, total_variation_distance
+
+
+# -- tableau invariants -------------------------------------------------------------
+
+
+def test_symplectic_invariant_after_every_gate_measure_reset():
+    # Walk a seeded random Clifford circuit gate by gate on a small batch and
+    # check the binary symplectic form survives every single update,
+    # including the rowsum-heavy measurement and reset paths.
+    rng = np.random.default_rng(5)
+    circuit = random_clifford_circuit(rng, 4, 30, measure=False)
+    program = compile_stabilizer_program(circuit)
+    tableau = StabilizerTableau(4, batch_size=3)
+    assert tableau.is_symplectic()
+    for step in program.steps:
+        assert isinstance(step, CliffordStep)
+        tableau.apply_gate(step.name, step.qubits)
+        assert tableau.is_symplectic(), step
+    for qubit in range(4):
+        tableau.measure(qubit, np.random.default_rng(qubit))
+        assert tableau.is_symplectic(), ("measure", qubit)
+        tableau.reset(qubit, np.random.default_rng(qubit + 10))
+        assert tableau.is_symplectic(), ("reset", qubit)
+
+
+def test_measurement_probabilities_are_exactly_zero_half_or_one():
+    tableau = StabilizerTableau(2, batch_size=4)
+    probabilities = tableau.measurement_probabilities(0)
+    assert np.all(probabilities == 0.0)  # |00>: P(1) = 0 exactly
+    tableau.apply_gate("h", (0,))
+    assert np.all(tableau.measurement_probabilities(0) == 0.5)
+    tableau.apply_gate("cx", (0, 1))
+    assert np.all(tableau.measurement_probabilities(1) == 0.5)
+    tableau.apply_gate("x", (0,))
+    # Still the (phase-flipped) Bell pair: marginals stay exactly 1/2.
+    assert np.all(tableau.measurement_probabilities(0) == 0.5)
+    deterministic = StabilizerTableau(1, batch_size=2)
+    deterministic.apply_gate("x", (0,))
+    assert np.all(deterministic.measurement_probabilities(0) == 1.0)
+
+
+def test_repeated_measurement_is_idempotent():
+    # After a random measurement collapses the state, re-measuring the same
+    # qubit is deterministic: identical outcomes, no further RNG consumption.
+    tableau = StabilizerTableau(3, batch_size=64)
+    tableau.apply_gate("h", (0,))
+    tableau.apply_gate("cx", (0, 1))
+    tableau.apply_gate("cx", (1, 2))
+    rng = np.random.default_rng(2)
+    first = tableau.measure(0, rng)
+    state_before = rng.bit_generator.state
+    again = tableau.measure(0, rng)
+    assert np.array_equal(first, again)
+    assert rng.bit_generator.state == state_before  # deterministic: no draws
+    # GHZ correlations survive the collapse: all three qubits agree.
+    assert np.array_equal(tableau.measure(1, rng), first)
+    assert np.array_equal(tableau.measure(2, rng), first)
+
+
+def test_reset_forces_zero_regardless_of_prior_state():
+    tableau = StabilizerTableau(2, batch_size=32)
+    tableau.apply_gate("x", (0,))
+    tableau.apply_gate("h", (1,))
+    rng = np.random.default_rng(9)
+    tableau.reset(0, rng)
+    tableau.reset(1, rng)
+    assert np.all(tableau.measurement_probabilities(0) == 0.0)
+    assert np.all(tableau.measurement_probabilities(1) == 0.0)
+
+
+def test_pauli_noise_on_ghz_matches_density_oracle_marginals():
+    # Satellite: the Pauli-channel lowering of depolarizing noise must
+    # reproduce the density oracle's distribution on a noisy GHZ state at
+    # widths the oracle can reach.
+    for width in (3, 6, 10):
+        circuit = Circuit(width, width)
+        circuit.h(0)
+        for q in range(width - 1):
+            circuit.cx(q, q + 1)
+        circuit.measure_all()
+        noise = NoiseModel(oneq_error=0.03, twoq_error=0.05)
+        exact = DensityMatrixSimulator(noise_model=noise).probabilities(circuit)
+        counts = StatevectorSimulator(
+            noise_model=noise, trajectory_engine="stabilizer"
+        ).run(circuit, shots=4096, seed=3).counts
+        shots = sum(counts.values())
+        bound = 5.0 * np.sqrt(max(len(exact), 2) / (2 * np.pi * shots))
+        assert total_variation_distance(counts, exact) < bound, width
+
+
+# -- Clifford classification + typed errors -----------------------------------------
+
+
+def test_is_clifford_circuit_classification():
+    clifford = Circuit(2, 2)
+    clifford.h(0).cx(0, 1).s(1).measure_all()
+    assert is_clifford_circuit(clifford)
+    parametric = Circuit(1, 1)
+    parametric.rx(0.3, 0)
+    assert not is_clifford_circuit(parametric)
+    non_clifford = Circuit(1, 1)
+    non_clifford.t(0)
+    assert not is_clifford_circuit(non_clifford)
+
+
+def test_non_clifford_gate_raises_typed_error_with_gate_and_index():
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1).t(1).measure_all()
+    with pytest.raises(UnsupportedGateError) as excinfo:
+        compile_stabilizer_program(circuit)
+    assert excinfo.value.gate == "t"
+    assert excinfo.value.index == 2
+    assert isinstance(excinfo.value, SimulationError)
+    assert not isinstance(excinfo.value, (ValueError, KeyError))
+
+
+def test_parametric_gate_raises_typed_error():
+    circuit = Circuit(1, 1)
+    circuit.h(0)
+    circuit.rz(0.7, 0)
+    with pytest.raises(UnsupportedGateError) as excinfo:
+        compile_stabilizer_program(circuit)
+    assert excinfo.value.gate == "rz"
+    assert excinfo.value.index == 1
+
+
+def test_simulator_raises_typed_error_for_non_clifford_under_stabilizer():
+    circuit = Circuit(1, 1)
+    circuit.t(0)
+    circuit.measure_all()
+    simulator = StatevectorSimulator(trajectory_engine="stabilizer")
+    with pytest.raises(UnsupportedGateError):
+        simulator.run(circuit, shots=16, seed=1)
+
+
+# -- engine routing ----------------------------------------------------------------
+
+
+def test_auto_engine_selects_stabilizer_for_clifford_circuits():
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1).measure_all()
+    noise = NoiseModel(oneq_error=0.02)
+    result = StatevectorSimulator(noise_model=noise, trajectory_engine="auto").run(
+        circuit, shots=64, seed=1
+    )
+    assert result.metadata["trajectory_engine"] == "stabilizer"
+    assert result.statevector is None
+    assert result.metadata["statevector_kind"] == "none"
+
+
+def test_auto_engine_falls_back_to_batched_for_non_clifford():
+    circuit = Circuit(1, 1)
+    circuit.t(0)
+    circuit.measure_all()
+    noise = NoiseModel(oneq_error=0.02)
+    result = StatevectorSimulator(noise_model=noise, trajectory_engine="auto").run(
+        circuit, shots=64, seed=1
+    )
+    assert result.metadata["trajectory_engine"] == "batched"
+
+
+def test_stabilizer_counts_are_worker_and_chunk_stream_deterministic():
+    rng = np.random.default_rng(17)
+    circuit = random_clifford_circuit(rng, 6, 24)
+    noise = NoiseModel(oneq_error=0.02, twoq_error=0.04, readout_error=0.01)
+    reference = None
+    for workers in (1, 2, 4, 8):
+        counts = StatevectorSimulator(
+            noise_model=noise,
+            trajectory_engine="stabilizer",
+            trajectory_workers=workers,
+            max_batch_memory=2048,
+        ).run(circuit, shots=1024, seed=7).counts
+        if reference is None:
+            reference = dict(counts)
+        assert dict(counts) == reference, workers
+
+
+def test_stabilizer_runs_beyond_exact_engine_widths():
+    width = 60
+    circuit = Circuit(width, width)
+    circuit.h(0)
+    for q in range(width - 1):
+        circuit.cx(q, q + 1)
+    circuit.measure_all()
+    result = StatevectorSimulator(trajectory_engine="stabilizer").run(
+        circuit, shots=256, seed=5
+    )
+    keys = set(result.counts)
+    assert keys == {"0" * width, "1" * width}
+    assert result.statevector is None
+
+
+def test_stabilizer_zero_shots_returns_empty_counts():
+    circuit = Circuit(30, 30)
+    circuit.h(0)
+    circuit.measure_all()
+    result = StatevectorSimulator(trajectory_engine="stabilizer").run(
+        circuit, shots=0, seed=1
+    )
+    assert sum(result.counts.values()) == 0
+    assert result.statevector is None
+
+
+def test_compile_cache_info_has_stabilizer_section():
+    clear_compile_caches()
+    circuit = Circuit(2, 2)
+    circuit.h(0).cx(0, 1).measure_all()
+    StatevectorSimulator(trajectory_engine="stabilizer").run(circuit, shots=8, seed=1)
+    info = compile_cache_info()
+    assert "stabilizer" in info
+    assert info["stabilizer"]["misses"] >= 1
+    StatevectorSimulator(trajectory_engine="stabilizer").run(circuit, shots=8, seed=1)
+    assert compile_cache_info()["stabilizer"]["hits"] >= 1
+
+
+# -- IR verifier rules --------------------------------------------------------------
+
+
+def _terminal(num_qubits):
+    return TerminalSample(
+        pairs=tuple((q, q) for q in range(num_qubits)), implicit=True
+    )
+
+
+def test_verifier_accepts_compiled_stabilizer_program():
+    rng = np.random.default_rng(23)
+    circuit = random_clifford_circuit(rng, 3, 12)
+    noise = NoiseModel(oneq_error=0.05, twoq_error=0.1)
+    program = compile_stabilizer_program(circuit, noise)
+    report = verify_stabilizer_program(program)
+    assert report.ok, report.to_dict()
+
+
+def test_verifier_flags_unknown_primitive_as_ir009():
+    program = StabilizerProgram(
+        num_qubits=2,
+        num_clbits=2,
+        steps=(CliffordStep(name="toffoli", qubits=(0, 1)),),
+        terminal=_terminal(2),
+    )
+    report = verify_stabilizer_program(program)
+    assert not report.ok
+    assert "IR009" in report.rule_ids
+
+
+def test_verifier_flags_bad_pauli_channel_rate_as_ir009():
+    for rate in (-0.1, 1.5, float("nan")):
+        program = StabilizerProgram(
+            num_qubits=1,
+            num_clbits=1,
+            steps=(PauliChannelStep(qubits=(0,), rate=rate),),
+            terminal=_terminal(1),
+        )
+        report = verify_stabilizer_program(program)
+        assert not report.ok, rate
+        assert "IR009" in report.rule_ids, rate
+
+
+def test_verifier_flags_wrong_operand_count_as_ir009():
+    program = StabilizerProgram(
+        num_qubits=2,
+        num_clbits=2,
+        steps=(CliffordStep(name="cx", qubits=(0,)),),
+        terminal=_terminal(2),
+    )
+    report = verify_stabilizer_program(program)
+    assert not report.ok
+    assert "IR009" in report.rule_ids
+
+
+def test_verifier_flags_out_of_range_qubit_as_ir001():
+    program = StabilizerProgram(
+        num_qubits=2,
+        num_clbits=2,
+        steps=(CliffordStep(name="h", qubits=(5,)),),
+        terminal=_terminal(2),
+    )
+    report = verify_stabilizer_program(program)
+    assert not report.ok
+    assert "IR001" in report.rule_ids

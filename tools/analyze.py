@@ -138,9 +138,23 @@ def run_verifier_corpus() -> List[Tuple[str, "object"]]:
         passes.set_stage_hook(None)
     reports.extend(staged)
 
+    # Stabilizer compile path: the Clifford member of the corpus (GHZ)
+    # lowered onto the tableau engine and checked against IR009/IR010.
+    from repro.simulators.gate.fusion import compile_stabilizer_program
+
+    ghz = _corpus_circuits()[0]
+    for noise_name, noise in noise_settings:
+        stabilizer_program = compile_stabilizer_program(ghz, noise)
+        reports.append(
+            (
+                f"{ghz.name}:stabilizer:{noise_name}",
+                analysis.verify_stabilizer_program(stabilizer_program),
+            )
+        )
+
     # End-to-end knob path: a verify_compiled run checks program, template
     # and result metadata inside the simulator itself.
-    for engine in ("batched", "density"):
+    for engine in ("batched", "density", "stabilizer"):
         simulator = StatevectorSimulator(
             noise_model=NoiseModel(oneq_error=0.01, twoq_error=0.02, readout_error=0.01),
             trajectory_engine=engine,
