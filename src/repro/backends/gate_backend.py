@@ -123,6 +123,17 @@ class GateBackend(Backend):
             engine.  Seeded results are bit-identical for every value; the
             effective parallelism is capped by the number of chunks
             ``max_batch_memory`` produces.
+        ``trajectory_executor`` (``"thread"`` | ``"process"`` | ``"auto"``,
+            default ``"thread"``)
+            How trajectory chunks are dispatched across
+            ``trajectory_workers``: the in-process thread pool, or the
+            persistent forkserver worker pool of
+            :mod:`~repro.simulators.gate.procpool` (per-worker warm compile
+            caches; real parallelism past the GIL).  Seeded counts are
+            bit-identical across both executors at every worker count.
+            ``"auto"`` resolves via
+            :func:`~repro.backends.registry.resolve_trajectory_executor`:
+            ``"process"`` on multi-core hosts, ``"thread"`` on one core.
         ``pin_blas_threads`` (bool, default ``True``)
             Cap the host BLAS/OpenMP pools at ``cores // workers`` threads
             while the ``trajectory_workers`` pool is active, preventing the
@@ -177,11 +188,19 @@ class GateBackend(Backend):
             from .registry import resolve_trajectory_engine  # local: import cycle
 
             trajectory_engine = resolve_trajectory_engine(transpiled.circuit)
+        trajectory_executor = str(
+            exec_policy.options.get("trajectory_executor", "thread")
+        )
+        if trajectory_executor == "auto":
+            from .registry import resolve_trajectory_executor  # local: import cycle
+
+            trajectory_executor = resolve_trajectory_executor()
         try:
             simulator = StatevectorSimulator(
                 noise_model=noise_model,
                 max_batch_memory=None if max_batch_memory is None else int(max_batch_memory),
                 trajectory_engine=trajectory_engine,
+                trajectory_executor=trajectory_executor,
                 trajectory_dtype=str(exec_policy.options.get("trajectory_dtype", "complex64")),
                 # Passed through unconverted: the simulator enforces the
                 # int-or-"auto" contract and coercing here would mask it.
@@ -238,6 +257,7 @@ class GateBackend(Backend):
                 "transpile_metrics": dict(transpiled.metrics),
                 "simulation_method": simulation.metadata.get("method"),
                 "trajectory_engine": simulation.metadata.get("trajectory_engine"),
+                "trajectory_executor": simulation.metadata.get("trajectory_executor"),
                 "trajectory_workers": simulation.metadata.get("trajectory_workers"),
                 "num_batches": simulation.metadata.get("num_batches"),
                 "uses_qec": context.uses_qec,

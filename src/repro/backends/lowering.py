@@ -421,6 +421,40 @@ def _lower_measurement(op, qdts, allocation, circuit, clbit_offset):
     _measure_schema(op, qdts, allocation, circuit, clbit_offset)
 
 
+def _lower_repetition_memory(op, qdts, allocation, circuit, clbit_offset):
+    """Repetition-code memory cycles on one patch register.
+
+    Mirrors :func:`repro.services.qec.repetition_code_circuit` on the
+    operator's allocated qubits: carriers ``0..d-1`` are data, ``d..2d-2``
+    syndrome ancillas; each round extracts every neighbouring-pair ZZ parity
+    with two CX into a fresh ancilla (measure + reset), then the data qubits
+    are read out.  Clbits follow the operator's result schema: round-major
+    syndrome bits, then data bits.  All gates are Clifford.
+    """
+    qdt = _primary(op, qdts)
+    distance = int(op.params["distance"])
+    rounds = int(op.params.get("rounds", 1))
+    if distance < 3 or distance % 2 == 0:
+        raise LoweringError("repetition-code distance must be an odd integer >= 3")
+    if rounds < 1:
+        raise LoweringError("repetition memory needs rounds >= 1")
+    if qdt.width != 2 * distance - 1:
+        raise LoweringError(
+            f"register {qdt.id!r} has width {qdt.width}; a distance-{distance} "
+            f"patch needs {2 * distance - 1} carriers"
+        )
+    data = [allocation.qubit_of(qdt.id, j) for j in range(distance)]
+    ancilla = [allocation.qubit_of(qdt.id, distance + j) for j in range(distance - 1)]
+    for rnd in range(rounds):
+        for j in range(distance - 1):
+            circuit.cx(data[j], ancilla[j])
+            circuit.cx(data[j + 1], ancilla[j])
+            circuit.measure(ancilla[j], clbit_offset + rnd * (distance - 1) + j)
+            circuit.reset(ancilla[j])
+    for j in range(distance):
+        circuit.measure(data[j], clbit_offset + rounds * (distance - 1) + j)
+
+
 def _lower_barrier(op, qdts, allocation, circuit, clbit_offset):
     qdt = _primary(op, qdts)
     circuit.barrier(*allocation.qubits_of(qdt.id))
@@ -450,6 +484,7 @@ register_gate_lowering("CSWAP_TEMPLATE", _lower_cswap)
 register_gate_lowering("SWAP_TEST", _lower_swap_test)
 register_gate_lowering("QPE_TEMPLATE", _lower_qpe)
 register_gate_lowering("MEASUREMENT", _lower_measurement)
+register_gate_lowering("REPETITION_MEMORY", _lower_repetition_memory)
 register_gate_lowering("BARRIER", _lower_barrier)
 register_gate_lowering("IDENTITY", _lower_identity)
 register_gate_lowering("RESET", _lower_reset)

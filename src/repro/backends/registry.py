@@ -24,6 +24,7 @@ __all__ = [
     "list_engines",
     "resolve_engine_family",
     "resolve_trajectory_engine",
+    "resolve_trajectory_executor",
 ]
 
 BackendFactory = Callable[[], Backend]
@@ -81,6 +82,22 @@ def resolve_trajectory_engine(circuit: Circuit, requested: str = "auto") -> str:
     from ..simulators.gate.fusion import is_clifford_circuit
 
     return "stabilizer" if is_clifford_circuit(circuit) else "batched"
+
+
+def resolve_trajectory_executor(requested: str = "auto") -> str:
+    """Resolve the ``trajectory_executor`` knob against the host.
+
+    ``"auto"`` picks the process-pool executor on multi-core hosts — where
+    process-level parallelism is what actually scales past the GIL — and the
+    zero-startup-cost thread executor on a single core, where a worker pool
+    can only add overhead.  Any other value passes through unchanged (the
+    simulator validates it).
+    """
+    if requested != "auto":
+        return requested
+    import os
+
+    return "process" if (os.cpu_count() or 1) > 1 else "thread"
 
 
 # Reference backends shipped with the library.

@@ -256,6 +256,22 @@ STANDARD_REP_KINDS: Tuple[RepKindInfo, ...] = (
         category="structural",
         description="Identity transformation (useful for padding and tests).",
     ),
+    # error correction -----------------------------------------------------------
+    RepKindInfo(
+        name="REPETITION_MEMORY",
+        category="qec",
+        unitary=False,
+        invertible=False,
+        measures=True,
+        resets=True,
+        required_params=("distance",),
+        default_params={"rounds": 1},
+        description=(
+            "Bit-flip repetition-code memory: per-round ZZ syndrome "
+            "extraction with ancilla measure+reset, then final data readout "
+            "(all Clifford; runs on the stabilizer engine at any width)."
+        ),
+    ),
 )
 
 for _info in STANDARD_REP_KINDS:

@@ -25,6 +25,7 @@ from .qaoa import (
     qaoa_parameter_names,
     qaoa_sequence,
 )
+from .qec import repetition_memory_operator, repetition_register
 from .qft import inverse_qft_operator, qft_operator
 from .stateprep import prep_amplitude, prep_angle, prep_basis_state, prep_uniform
 
@@ -57,6 +58,8 @@ __all__ = [
     "controlled_phase_operator",
     "swap_test_operator",
     "qpe_operator",
+    "repetition_register",
+    "repetition_memory_operator",
     "compose",
     "invert",
     "sandwich",

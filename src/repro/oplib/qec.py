@@ -1,0 +1,99 @@
+"""QEC operator library: error-correction cycles as packaged operators.
+
+The QEC service (:mod:`~repro.services.qec`) builds its cycle circuits
+directly; this module packages the same semantics as an operator descriptor
+so a repetition-code memory experiment travels through the ordinary
+middle-layer flow — ``package`` → scheduler → backend lowering — next to
+QAOA and QFT jobs.  That is what lets the serving queue treat QEC work as
+just another bundle (and what the mixed-workload serving benchmark runs).
+
+The lowered circuit is all-Clifford, so with
+``trajectory_engine="auto"`` the gate backend routes it to the stabilizer
+tableau engine and the register width is not capped by the amplitude
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.cost import CostHint
+from ..core.errors import DescriptorError
+from ..core.qdt import BitOrder, MeasurementSemantics, QuantumDataType, boolean_register
+from ..core.qod import QuantumOperatorDescriptor
+from ..core.result_schema import ResultSchema
+from .library import build_operator
+
+__all__ = ["repetition_register", "repetition_memory_operator"]
+
+
+def repetition_register(id: str, distance: int, *, name: Optional[str] = None) -> QuantumDataType:
+    """The physical register of one repetition-code patch.
+
+    Carriers ``0 .. d-1`` are the data qubits and ``d .. 2d-2`` the syndrome
+    ancillas — the layout :func:`repetition_memory_operator`'s result schema
+    and the backend lowering rule both assume.
+    """
+    _check_distance(distance)
+    return boolean_register(
+        id, 2 * distance - 1, name=name or f"repetition d={distance} patch"
+    )
+
+
+def repetition_memory_operator(
+    qdt: QuantumDataType,
+    distance: int,
+    *,
+    rounds: int = 1,
+    name: Optional[str] = None,
+) -> QuantumOperatorDescriptor:
+    """A ``REPETITION_MEMORY`` descriptor over one patch register.
+
+    Every round extracts the ``d - 1`` neighbouring-pair ZZ parities into
+    fresh ancillas (measure + reset), and the final data qubits are read out
+    after the last round.  Result-schema clbit layout: ``rounds * (d - 1)``
+    syndrome bits (round major, ancilla minor — the ancilla carriers repeat
+    per round) followed by the ``d`` data bits, decoded ``AS_RAW``.
+    """
+    _check_distance(distance)
+    if rounds < 1:
+        raise DescriptorError("repetition memory needs rounds >= 1")
+    if qdt.width != 2 * distance - 1:
+        raise DescriptorError(
+            f"register {qdt.id!r} has width {qdt.width}; a distance-{distance} "
+            f"patch needs {2 * distance - 1} carriers (d data + d-1 ancilla)"
+        )
+    syndrome = [
+        f"{qdt.id}[{distance + j}]" for _ in range(rounds) for j in range(distance - 1)
+    ]
+    data = [f"{qdt.id}[{j}]" for j in range(distance)]
+    schema = ResultSchema(
+        basis="Z",
+        datatype=MeasurementSemantics.AS_RAW,
+        bit_significance=BitOrder.LSB_0,
+        clbit_order=syndrome + data,
+    )
+    # 4 CX + measure + reset per stabilizer per round, one final data
+    # readout; depth grows with rounds, not with distance (rounds are
+    # sequential, stabilizers within a round are parallel).
+    cost = CostHint(
+        twoq=2.0 * (distance - 1) * rounds,
+        depth=4.0 * rounds + 1.0,
+        ancilla=float(distance - 1),
+    )
+    return build_operator(
+        name or f"repetition_memory_{qdt.id}",
+        "REPETITION_MEMORY",
+        qdt,
+        params={"distance": int(distance), "rounds": int(rounds)},
+        cost_hint=cost,
+        result_schema=schema,
+        estimate=False,
+    )
+
+
+def _check_distance(distance: int) -> None:
+    if not isinstance(distance, int) or distance < 3 or distance % 2 == 0:
+        raise DescriptorError(
+            f"repetition-code distance must be an odd integer >= 3, got {distance!r}"
+        )

@@ -10,6 +10,7 @@ from .annealing import AnnealingSubmissionService, Embedding, EmbeddingService, 
 from .communication import CommunicationPlan, CommunicationService, interaction_graph
 from .pulse import DEFAULT_GATE_DURATIONS_NS, PulseInstruction, PulseSchedule, PulseService
 from .qec import QECPlan, QECService, SurfaceCodeModel
+from .serving import JobService, JobTicket
 from .scheduler import (
     CostAwareScheduler,
     EnginePerformanceModel,
@@ -36,4 +37,6 @@ __all__ = [
     "EnginePerformanceModel",
     "Schedule",
     "ScheduledJob",
+    "JobService",
+    "JobTicket",
 ]

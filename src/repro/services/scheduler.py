@@ -138,9 +138,22 @@ class CostAwareScheduler:
 
     # -- fleet scheduling ----------------------------------------------------------------
     def schedule(self, bundles: Iterable[JobBundle]) -> Schedule:
-        """Greedy longest-processing-time list schedule over the engine fleet."""
+        """Greedy longest-processing-time list schedule over the engine fleet.
+
+        Bundle names must be unique: :meth:`Schedule.engine_of` and every
+        name-keyed consumer (the serving queue's result lookup) would
+        silently resolve only the first placement of a duplicated name, so
+        duplicates raise :class:`~repro.core.errors.ServiceError` up front.
+        """
         placements: List[Tuple[JobBundle, str, float]] = []
+        seen: Dict[str, int] = {}
         for bundle in bundles:
+            if bundle.name in seen:
+                raise ServiceError(
+                    f"duplicate bundle name {bundle.name!r} in schedule request; "
+                    "name-keyed placement lookup requires unique names"
+                )
+            seen[bundle.name] = 1
             engine, runtime = self.choose_engine(bundle)
             placements.append((bundle, engine, runtime))
         # Longest jobs first onto their chosen engine's queue.

@@ -1,0 +1,343 @@
+"""Async job service: the multi-user serving queue over the bundle flow.
+
+:class:`JobService` is the middle layer's front door for concurrent use:
+many callers submit packaged :class:`~repro.core.bundle.JobBundle`\\ s, the
+service admits and places each one through the
+:class:`~repro.services.scheduler.CostAwareScheduler`, executes on the
+registered backends, and streams per-job results back as they complete.
+
+Three properties matter at serving scale:
+
+* **Admission control** — a submission with no capable engine (or a job
+  name already queued) fails synchronously with
+  :class:`~repro.core.errors.ServiceError`, before anything is enqueued,
+  so the queue never holds work that cannot run.
+* **Coalescing** — structurally identical circuits from different users
+  (a sampled variational sweep, a class of students running the same
+  template) are grouped on the structure-keyed compile-cache key
+  (:func:`~repro.simulators.gate.fusion.structure_key` of the lowered
+  circuit).  A group executes back-to-back on one lane: the first job pays
+  the fusion/transpile analysis, the rest re-bind parameters out of the
+  warm caches — N submissions, one compile, N independent result streams.
+* **Streaming** — :meth:`JobService.as_completed` yields tickets in
+  completion order; each :class:`JobTicket` is also a future-like handle
+  (``done()`` / ``result()`` / ``exception()``) for point lookups, and
+  :meth:`JobService.ticket` resolves a handle by job name.
+
+The service performs no wall-clock reads of its own: per-job timing comes
+from the submission runtime's existing instrumentation
+(``metadata["wall_time_s"]``), and throughput accounting belongs to the
+caller (see ``benchmarks/bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..backends.base import ExecutionResult
+from ..backends.registry import get_backend
+from ..backends.runtime import submit as runtime_submit
+from ..core.bundle import JobBundle
+from ..core.errors import ServiceError
+from .scheduler import CostAwareScheduler
+
+__all__ = ["JobTicket", "JobService"]
+
+
+@dataclass
+class JobTicket:
+    """Handle for one submitted job: placement facts plus a result future."""
+
+    job_id: int
+    name: str
+    engine: str
+    estimated_runtime_s: float
+    coalesce_key: Any = field(repr=False, default=None)
+    _bundle: Optional[JobBundle] = field(repr=False, default=None)
+    _future: Future = field(repr=False, default_factory=Future)
+
+    def done(self) -> bool:
+        """Whether the job has finished (successfully or not)."""
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> ExecutionResult:
+        """Block for the job's :class:`ExecutionResult` (re-raises failures)."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Block for the job's failure, or ``None`` if it succeeded."""
+        return self._future.exception(timeout)
+
+
+class JobService:
+    """Queued, coalescing, scheduler-placed execution of job bundles.
+
+    Parameters
+    ----------
+    scheduler:
+        Admission/placement policy; defaults to a fresh
+        :class:`~repro.services.scheduler.CostAwareScheduler` over every
+        registered engine.
+    lanes:
+        Number of concurrent execution lanes (threads running backend
+        calls).  Within one lane a coalesced group runs back-to-back so its
+        cache locality is preserved; distinct groups spread across lanes.
+    coalesce:
+        When ``True`` (default), jobs whose lowered circuits share a
+        structure key execute as one group (one compile); ``False`` gives
+        every job its own group.
+    exec_options:
+        Extra ``context.exec.options`` entries merged into every submitted
+        bundle (submission wins on conflicts is **not** the rule — the
+        service's entries override, so operators can force e.g.
+        ``trajectory_executor="process"`` fleet-wide).
+
+    Use as a context manager or call :meth:`close` to stop the dispatcher
+    and wait for in-flight work.
+    """
+
+    def __init__(
+        self,
+        *,
+        scheduler: Optional[CostAwareScheduler] = None,
+        lanes: int = 1,
+        coalesce: bool = True,
+        exec_options: Optional[Dict[str, Any]] = None,
+    ):
+        if lanes < 1:
+            raise ServiceError("job service needs at least one execution lane")
+        self._scheduler = scheduler or CostAwareScheduler()
+        self._coalesce = bool(coalesce)
+        self._exec_options = dict(exec_options or {})
+        self._wake = threading.Condition()
+        self._pending: List[JobTicket] = []
+        self._all: List[JobTicket] = []
+        self._by_name: Dict[str, JobTicket] = {}
+        self._events: "queue_module.Queue[JobTicket]" = queue_module.Queue()
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "groups": 0,
+            "coalesced": 0,
+        }
+        self._streamed = 0
+        self._job_counter = 0
+        self._closed = False
+        self._lanes = ThreadPoolExecutor(
+            max_workers=lanes, thread_name_prefix="serving-lane"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serving-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission ------------------------------------------------------------------
+    def submit(self, bundle: JobBundle) -> JobTicket:
+        """Admit one bundle: place it, enqueue it, return its ticket.
+
+        Raises :class:`ServiceError` synchronously when no registered
+        engine can execute the bundle, when the bundle has no execution
+        context, when its name is already queued or running, or when the
+        service is closed.
+        """
+        bundle = self._admit(bundle)
+        engine, estimate = self._scheduler.choose_engine(bundle)
+        return self._enqueue(bundle, engine, estimate)
+
+    def submit_many(self, bundles: Sequence[JobBundle]) -> List[JobTicket]:
+        """Admit a batch atomically through the fleet scheduler.
+
+        The whole batch is placed with
+        :meth:`CostAwareScheduler.schedule` (which rejects duplicate bundle
+        names) and enqueued under one lock, so a coalescable batch reaches
+        the dispatcher as one unit.  Tickets return in input order.
+        """
+        admitted = [self._admit(bundle) for bundle in bundles]
+        schedule = self._scheduler.schedule(admitted)
+        placed = {job.bundle_name: job for job in schedule.jobs}
+        keys = [
+            self._coalesce_key(bundle, placed[bundle.name].engine)
+            for bundle in admitted
+        ]
+        with self._wake:
+            tickets = [
+                self._enqueue_locked(
+                    bundle,
+                    placed[bundle.name].engine,
+                    placed[bundle.name].estimated_runtime_s,
+                    key,
+                )
+                for bundle, key in zip(admitted, keys)
+            ]
+            self._wake.notify()
+        return tickets
+
+    def _admit(self, bundle: JobBundle) -> JobBundle:
+        """Pre-queue checks plus the service-wide exec-option merge."""
+        if self._closed:
+            raise ServiceError("job service is closed")
+        if bundle.context is None:
+            raise ServiceError(
+                f"bundle {bundle.name!r} has no execution context; the serving "
+                "queue requires an explicit exec policy"
+            )
+        if not self._exec_options:
+            return bundle
+        exec_policy = replace(
+            bundle.context.exec,
+            options={**bundle.context.exec.options, **self._exec_options},
+        )
+        return bundle.with_context(replace(bundle.context, exec=exec_policy))
+
+    def _coalesce_key(self, bundle: JobBundle, engine: str) -> Any:
+        """Structure-keyed grouping key; unique object when not coalescable."""
+        if self._coalesce:
+            backend = get_backend(engine)
+            builder = getattr(backend, "build_circuit", None)
+            if builder is not None:
+                from ..simulators.gate.fusion import structure_key
+
+                circuit, _ = builder(bundle)
+                return (engine, structure_key(circuit))
+        return object()  # never equal to another key: a group of one
+
+    def _enqueue(self, bundle: JobBundle, engine: str, estimate: float) -> JobTicket:
+        key = self._coalesce_key(bundle, engine)
+        with self._wake:
+            ticket = self._enqueue_locked(bundle, engine, estimate, key)
+            self._wake.notify()
+        return ticket
+
+    def _enqueue_locked(
+        self, bundle: JobBundle, engine: str, estimate: float, key: Any
+    ) -> JobTicket:
+        """Queue one placed bundle; caller holds ``self._wake``."""
+        if self._closed:
+            raise ServiceError("job service is closed")
+        active = self._by_name.get(bundle.name)
+        if active is not None and not active.done():
+            raise ServiceError(
+                f"job name {bundle.name!r} is already queued or running; "
+                "results are looked up by name, so names must be unique "
+                "among live jobs"
+            )
+        self._job_counter += 1
+        ticket = JobTicket(
+            job_id=self._job_counter,
+            name=bundle.name,
+            engine=engine,
+            estimated_runtime_s=estimate,
+            coalesce_key=key,
+            _bundle=bundle,
+        )
+        self._by_name[bundle.name] = ticket
+        self._all.append(ticket)
+        self._pending.append(ticket)
+        with self._stats_lock:
+            self._stats["submitted"] += 1
+        return ticket
+
+    # -- dispatch --------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        """Drain the pending queue, group by coalescing key, fan out lanes."""
+        while True:
+            with self._wake:
+                while not self._pending and not self._closed:
+                    self._wake.wait()
+                if not self._pending and self._closed:
+                    return
+                batch = list(self._pending)
+                self._pending.clear()
+            groups: Dict[Any, List[JobTicket]] = {}
+            for ticket in batch:
+                groups.setdefault(ticket.coalesce_key, []).append(ticket)
+            for tickets in groups.values():
+                with self._stats_lock:
+                    self._stats["groups"] += 1
+                    self._stats["coalesced"] += len(tickets) - 1
+                self._lanes.submit(self._run_group, tickets)
+
+    def _run_group(self, tickets: List[JobTicket]) -> None:
+        """Execute one coalesced group back-to-back on this lane."""
+        for position, ticket in enumerate(tickets):
+            try:
+                result = runtime_submit(
+                    ticket._bundle,
+                    backend=get_backend(ticket.engine),
+                    validate=False,
+                )
+                result.metadata["serving"] = {
+                    "job_id": ticket.job_id,
+                    "engine": ticket.engine,
+                    "group_size": len(tickets),
+                    "group_position": position,
+                }
+            except BaseException as exc:  # noqa: BLE001 - routed to the ticket
+                with self._stats_lock:
+                    self._stats["failed"] += 1
+                ticket._future.set_exception(exc)
+            else:
+                with self._stats_lock:
+                    self._stats["completed"] += 1
+                ticket._future.set_result(result)
+            self._events.put(ticket)
+
+    # -- results ---------------------------------------------------------------------
+    def as_completed(self, timeout: Optional[float] = None) -> Iterator[JobTicket]:
+        """Yield tickets in completion order until every submission is seen.
+
+        Single-consumer: the stream cursor is service-global.  *timeout*
+        bounds the wait for **each** next completion; expiry raises
+        :class:`queue.Empty`.
+        """
+        while True:
+            with self._stats_lock:
+                remaining = self._stats["submitted"] - self._streamed
+            if remaining == 0:
+                return
+            ticket = self._events.get(timeout=timeout)
+            with self._stats_lock:
+                self._streamed += 1
+            yield ticket
+
+    def ticket(self, name: str) -> JobTicket:
+        """Look up the (most recent) ticket submitted under *name*."""
+        with self._wake:
+            ticket = self._by_name.get(name)
+        if ticket is None:
+            raise ServiceError(f"no job named {name!r} has been submitted")
+        return ticket
+
+    def drain(self) -> List[JobTicket]:
+        """Block until every submitted job finished; tickets in job order."""
+        with self._wake:
+            tickets = list(self._all)
+        for ticket in tickets:
+            ticket.exception()  # waits; does not re-raise
+        return tickets
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: submitted/completed/failed/groups/coalesced."""
+        with self._stats_lock:
+            return dict(self._stats)
+
+    # -- lifecycle -------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting work, run the queue dry, release the lanes."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        self._dispatcher.join()
+        self._lanes.shutdown(wait=True)
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -120,6 +120,9 @@ __all__ = [
     "compile_stabilizer_program",
     "compile_stabilizer_program_cached",
     "compile_parametric_template",
+    "compile_parametric_template_cached",
+    "adopt_parametric_template",
+    "structure_key",
     "compile_trajectory_program",
     "compile_trajectory_program_cached",
     "compile_cache_info",
@@ -1027,6 +1030,40 @@ def _noise_key(noise_model: Optional[NoiseModel]) -> Optional[Tuple[float, float
     return (noise_model.oneq_error, noise_model.twoq_error)
 
 
+def structure_key(circuit: Circuit) -> tuple:
+    """Public alias of the structure-keyed cache key.
+
+    The serving queue coalesces structurally identical submissions on this
+    key (same key ⇒ same fusion template ⇒ the batch shares one compile), so
+    it is part of the module's contract, not an implementation detail.
+    """
+    return _structure_key(circuit)
+
+
+def compile_parametric_template_cached(circuit: Circuit) -> ParametricTemplate:
+    """Structural template of *circuit* through the template LRU cache."""
+    structure = _structure_key(circuit)
+    template = _TEMPLATE_CACHE.lookup(structure)
+    if template is None:
+        template = compile_parametric_template(circuit)
+        _TEMPLATE_CACHE.store(structure, template)
+    return template
+
+
+def adopt_parametric_template(circuit: Circuit, template: ParametricTemplate) -> None:
+    """Seed the template cache with a template compiled in another process.
+
+    The process-pool executor ships each structure's template to the workers
+    once; adopting it lets the worker-side bind skip the structural fusion
+    analysis entirely.  A template already cached for the structure wins
+    (templates for one structure are interchangeable by construction), and
+    the membership probe stays off the hit/miss counters.
+    """
+    structure = _structure_key(circuit)
+    if structure not in _TEMPLATE_CACHE:
+        _TEMPLATE_CACHE.store(structure, template)
+
+
 def compile_trajectory_program_cached(
     circuit: Circuit,
     noise_model: Optional[NoiseModel] = None,
@@ -1060,10 +1097,7 @@ def compile_trajectory_program_cached(
     program = _PROGRAM_CACHE.lookup(program_key)
     if program is not None:
         return program
-    template = _TEMPLATE_CACHE.lookup(structure)
-    if template is None:
-        template = compile_parametric_template(circuit)
-        _TEMPLATE_CACHE.store(structure, template)
+    template = compile_parametric_template_cached(circuit)
     program = template.bind(circuit, noise_model, dtype=dtype)
     _PROGRAM_CACHE.store(program_key, program)
     return program

@@ -18,6 +18,10 @@ __all__ = ["BoundedLRU", "DEFAULT_CACHE_SIZE"]
 #: run through the ``compile_cache_size`` exec-policy knob.
 DEFAULT_CACHE_SIZE = 256
 
+#: Absence sentinel: distinguishes "key not stored" from a stored value that
+#: happens to be falsy (``None``, ``0``, ``""``) so such values still hit.
+_MISSING = object()
+
 
 class BoundedLRU:
     """Ordered key -> value cache, evicting oldest-first beyond ``maxsize``."""
@@ -32,13 +36,18 @@ class BoundedLRU:
     def lookup(self, key: Any) -> Optional[Any]:
         """Return the cached value (counted as a hit) or ``None`` (a miss)."""
         with self._lock:
-            value = self._data.get(key)
-            if value is None:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
                 self._misses += 1
                 return None
             self._data.move_to_end(key)
             self._hits += 1
             return value
+
+    def __contains__(self, key: Any) -> bool:
+        """Membership probe that does not touch the hit/miss counters."""
+        with self._lock:
+            return key in self._data
 
     def store(self, key: Any, value: Any) -> None:
         """Insert *value* as the newest entry, evicting beyond the bound."""

@@ -1,0 +1,261 @@
+"""Persistent process pool for trajectory chunk execution.
+
+The thread-pool chunk executor in :mod:`~repro.simulators.gate.statevector`
+is break-even on CPython — the per-chunk Python bookkeeping between the
+GIL-releasing NumPy kernels serialises the workers — so real scale-out needs
+process-level parallelism.  This module owns that seam:
+
+* a **persistent** ``ProcessPoolExecutor`` (forkserver start method where
+  available, spawn otherwise), created on first use and reused across runs
+  and jobs, so every worker keeps warm compile caches — the parent ships a
+  circuit's :class:`~repro.simulators.gate.fusion.ParametricTemplate` once
+  per structure and the workers only re-bind parameters afterwards;
+* **chunk-grouped dispatch**: the parent's ``max_batch_memory`` chunk
+  decomposition and per-chunk ``SeedSequence`` streams are computed exactly
+  as on the thread path, then the chunks are dealt round-robin into at most
+  ``workers`` groups.  Chunk ``i`` always consumes stream ``i`` and results
+  reassemble in chunk order, so seeded counts are **bit-identical** to the
+  thread executor (and to serial execution) at every worker count.
+
+The pool is grow-only: a request for fewer workers reuses the existing
+(larger) pool — effective parallelism is bounded by the group count, and
+shrinking would throw away the workers' warm caches.  ``fork`` is
+deliberately not used even where available: the workers must not inherit the
+parent's BLAS thread pools or lock state mid-operation.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "get_worker_pool",
+    "shutdown_worker_pool",
+    "worker_pool_info",
+    "run_trajectory_chunks",
+    "run_stabilizer_chunks",
+]
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _start_method() -> str:
+    """Forkserver where the platform offers it (Linux), spawn otherwise."""
+    return (
+        "forkserver"
+        if "forkserver" in mp.get_all_start_methods()
+        else "spawn"
+    )
+
+
+def get_worker_pool(workers: int) -> ProcessPoolExecutor:
+    """Return the persistent pool, growing it if *workers* exceeds its size."""
+    global _POOL, _POOL_WORKERS
+    if workers < 1:
+        raise ValueError(f"worker pool size must be >= 1, got {workers!r}")
+    with _POOL_LOCK:
+        if _POOL is None or workers > _POOL_WORKERS:
+            if _POOL is not None:
+                _POOL.shutdown(wait=True)
+            context = mp.get_context(_start_method())
+            if hasattr(context, "set_forkserver_preload"):
+                # Fork workers from a server that already imported this
+                # package (and with it NumPy): per-worker startup drops from
+                # a full interpreter + import chain to a fork.
+                context.set_forkserver_preload(["repro.simulators.gate.procpool"])
+            _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            _POOL_WORKERS = workers
+        return _POOL
+
+
+def shutdown_worker_pool() -> None:
+    """Tear the pool down (test isolation / interpreter exit)."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+def worker_pool_info() -> Dict[str, int]:
+    """Snapshot of the pool state: ``workers`` and ``started``."""
+    with _POOL_LOCK:
+        return {"workers": _POOL_WORKERS, "started": int(_POOL is not None)}
+
+
+atexit.register(shutdown_worker_pool)
+
+
+def _deal_chunks(
+    sizes: Sequence[int], streams: Sequence[Any], workers: int
+) -> List[List[Tuple[int, int, Any]]]:
+    """Round-robin ``(chunk_id, size, stream)`` triples into worker groups.
+
+    The grouping only decides *where* a chunk runs; chunk ``i`` carries
+    stream ``i`` regardless, so the decomposition-to-stream mapping — the
+    bit-identity contract — never depends on the worker count.
+    """
+    groups: List[List[Tuple[int, int, Any]]] = [[] for _ in range(workers)]
+    for chunk_id, (size, stream) in enumerate(zip(sizes, streams)):
+        groups[chunk_id % workers].append((chunk_id, size, stream))
+    return [group for group in groups if group]
+
+
+def _trajectory_task(payload: tuple):
+    """Worker-side entry: bind (or adopt) the program, run a chunk group.
+
+    Returns ``(rows, state_data, state_index)`` where *rows* is a list of
+    ``(chunk_id, bits)`` and the state fields are populated only by the
+    group holding the globally last chunk (the result-statevector contract).
+    """
+    (
+        circuit,
+        template,
+        noise_model,
+        dtype_str,
+        gemm_threshold,
+        blas_threads,
+        chunks,
+        state_chunk,
+    ) = payload
+    from .fusion import adopt_parametric_template, compile_trajectory_program_cached
+    from .statevector import execute_program_chunk
+    from .threads import limit_blas_threads
+
+    if template is not None:
+        adopt_parametric_template(circuit, template)
+    dtype = np.dtype(dtype_str)
+    # Mirror the parent compile exactly: a noiseless model compiles as None
+    # but still reaches execution (its zero-rate readout path consumes the
+    # same RNG draws as on the thread executor).
+    compile_noise = noise_model
+    if compile_noise is not None and compile_noise.is_noiseless:
+        compile_noise = None
+    program = compile_trajectory_program_cached(circuit, compile_noise, dtype=dtype)
+    guard = (
+        limit_blas_threads(blas_threads) if blas_threads is not None else nullcontext()
+    )
+    rows: List[Tuple[int, np.ndarray]] = []
+    state_data: Optional[np.ndarray] = None
+    state_index: Optional[int] = None
+    with guard:
+        for chunk_id, size, stream in chunks:
+            bits, state, last_index = execute_program_chunk(
+                program,
+                size,
+                np.random.default_rng(stream),
+                noise_model=noise_model,
+                dtype=dtype,
+                gemm_threshold=gemm_threshold,
+            )
+            if chunk_id == state_chunk:
+                state_data = state.extract(-1).data
+                state_index = last_index
+            rows.append((chunk_id, bits))
+    return rows, state_data, state_index
+
+
+def run_trajectory_chunks(
+    circuit,
+    template,
+    noise_model,
+    sizes: Sequence[int],
+    streams: Sequence[Any],
+    *,
+    workers: int,
+    dtype,
+    gemm_threshold,
+    blas_threads: Optional[int] = None,
+) -> Tuple[List[np.ndarray], np.ndarray, Optional[int]]:
+    """Execute a batched-engine chunk decomposition on the process pool.
+
+    Returns ``(bits_rows, final_state_data, last_index)``: the per-chunk bit
+    rows in chunk order, plus the last chunk's final single-trajectory state
+    amplitudes and its sampled terminal index (for the parent's terminal
+    collapse).
+    """
+    workers = max(1, min(int(workers), len(sizes)))
+    pool = get_worker_pool(workers)
+    state_chunk = len(sizes) - 1
+    dtype_str = str(np.dtype(dtype))
+    futures = [
+        pool.submit(
+            _trajectory_task,
+            (
+                circuit,
+                template,
+                noise_model,
+                dtype_str,
+                gemm_threshold,
+                blas_threads,
+                group,
+                state_chunk,
+            ),
+        )
+        for group in _deal_chunks(sizes, streams, workers)
+    ]
+    bits_rows: List[Optional[np.ndarray]] = [None] * len(sizes)
+    state_data: Optional[np.ndarray] = None
+    last_index: Optional[int] = None
+    for future in futures:
+        rows, data, index = future.result()
+        for chunk_id, bits in rows:
+            bits_rows[chunk_id] = bits
+        if data is not None:
+            state_data = data
+            last_index = index
+    return bits_rows, state_data, last_index
+
+
+def _stabilizer_task(payload: tuple) -> List[Tuple[int, np.ndarray]]:
+    """Worker-side entry for tableau chunks (program ships pre-compiled)."""
+    program, noise_model, chunks = payload
+    from .stabilizer import execute_stabilizer_program
+
+    return [
+        (
+            chunk_id,
+            execute_stabilizer_program(
+                program, size, np.random.default_rng(stream), noise_model
+            ),
+        )
+        for chunk_id, size, stream in chunks
+    ]
+
+
+def run_stabilizer_chunks(
+    program,
+    noise_model,
+    sizes: Sequence[int],
+    streams: Sequence[Any],
+    *,
+    workers: int,
+) -> List[np.ndarray]:
+    """Execute a stabilizer-engine chunk decomposition on the process pool.
+
+    Returns the per-chunk outcome-bit matrices in chunk order.  The compiled
+    :class:`~repro.simulators.gate.fusion.StabilizerProgram` is parameter-free
+    and cheap to pickle, so it ships directly instead of recompiling in the
+    worker.
+    """
+    workers = max(1, min(int(workers), len(sizes)))
+    pool = get_worker_pool(workers)
+    futures = [
+        pool.submit(_stabilizer_task, (program, noise_model, group))
+        for group in _deal_chunks(sizes, streams, workers)
+    ]
+    rows: List[Optional[np.ndarray]] = [None] * len(sizes)
+    for future in futures:
+        for chunk_id, bits in future.result():
+            rows[chunk_id] = bits
+    return rows

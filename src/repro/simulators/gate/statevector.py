@@ -25,8 +25,10 @@ The simulator picks one of three paths per run:
   state).  The ``max_batch_memory`` knob bounds the ``shots x 2^n``
   footprint by chunking the shot dimension; each chunk is an independent
   batch with its own ``SeedSequence``-spawned RNG stream, and the
-  ``trajectory_workers`` knob dispatches chunks across a thread pool
-  (seeded counts are bit-identical for every worker count).
+  ``trajectory_workers`` knob dispatches chunks across a thread pool — or,
+  with ``trajectory_executor="process"``, across the persistent worker-process
+  pool of :mod:`~repro.simulators.gate.procpool` (seeded counts are
+  bit-identical for every worker count and both executors).
 * **reference trajectories** — a per-shot Python loop over the *same*
   compiled program, with scalar RNG draws; kept as the executable
   specification of per-trajectory semantics that the batched engine's
@@ -88,6 +90,7 @@ __all__ = [
     "Statevector",
     "SimulationResult",
     "StatevectorSimulator",
+    "execute_program_chunk",
     "DEFAULT_MAX_BATCH_MEMORY",
 ]
 
@@ -458,6 +461,18 @@ class StatevectorSimulator:
         below ``trajectory_workers``), and because up to ``workers`` chunks
         are live at once, the peak working set is about
         ``trajectory_workers x max_batch_memory`` bytes.
+    trajectory_executor:
+        ``"thread"`` (default) or ``"process"``: how the batched and
+        stabilizer engines' shot chunks are dispatched across
+        ``trajectory_workers``.  ``"thread"`` keeps the in-process pool
+        (zero startup cost, GIL-bound between kernels).  ``"process"``
+        executes the chunk groups on the persistent forkserver worker pool
+        of :mod:`~repro.simulators.gate.procpool`: the parent ships each
+        structure's compiled template once, the workers bind parameters
+        into their own warm compile caches, and chunk ``i`` always consumes
+        the ``i``-th ``SeedSequence``-spawned stream — so seeded counts are
+        **bit-identical** across both executors and every worker count.
+        The reference, density and exact paths ignore this option.
     verify_compiled:
         ``bool`` (default ``False``).  When enabled, every run verifies its
         compiled artifacts through the static IR verifier
@@ -476,6 +491,7 @@ class StatevectorSimulator:
         noise_model: Optional[NoiseModel] = None,
         max_batch_memory: Optional[int] = DEFAULT_MAX_BATCH_MEMORY,
         trajectory_engine: str = "batched",
+        trajectory_executor: str = "thread",
         trajectory_dtype: str = "complex64",
         trajectory_workers: Union[int, str] = 1,
         density_sampling: str = "multinomial",
@@ -494,6 +510,11 @@ class StatevectorSimulator:
             raise SimulationError(
                 f"unknown trajectory engine {trajectory_engine!r}; expected "
                 "'batched', 'reference', 'density', 'stabilizer' or 'auto'"
+            )
+        if trajectory_executor not in ("thread", "process"):
+            raise SimulationError(
+                f"unknown trajectory executor {trajectory_executor!r}; "
+                "expected 'thread' or 'process'"
             )
         if density_sampling not in ("multinomial", "deterministic"):
             raise SimulationError(
@@ -551,6 +572,7 @@ class StatevectorSimulator:
         self.noise_model = noise_model
         self.max_batch_memory = max_batch_memory
         self.trajectory_engine = trajectory_engine
+        self.trajectory_executor = trajectory_executor
         self.trajectory_dtype = trajectory_dtype
         self.trajectory_workers = trajectory_workers
         self.density_sampling = density_sampling
@@ -712,6 +734,7 @@ class StatevectorSimulator:
             "statevector_kind": "none",
             "trajectory_engine": "stabilizer",
             "trajectory_workers": self.trajectory_workers,
+            "trajectory_executor": self.trajectory_executor,
         }
         if shots == 0:
             metadata.update(
@@ -740,7 +763,13 @@ class StatevectorSimulator:
             )
 
         workers = min(self.trajectory_workers, len(sizes))
-        if workers <= 1:
+        if self.trajectory_executor == "process":
+            from .procpool import run_stabilizer_chunks
+
+            results = run_stabilizer_chunks(
+                program, noise, sizes, streams, workers=workers
+            )
+        elif workers <= 1:
             results = [run_chunk(chunk) for chunk in range(len(sizes))]
         else:
             from .threads import limit_blas_threads
@@ -860,6 +889,7 @@ class StatevectorSimulator:
             "trajectory_engine": "batched",
             "trajectory_dtype": self.trajectory_dtype,
             "trajectory_workers": self.trajectory_workers,
+            "trajectory_executor": self.trajectory_executor,
         }
         if shots == 0:
             extra.update({"implicit_measurement": False, "num_batches": 0, "batch_size": 0})
@@ -892,24 +922,52 @@ class StatevectorSimulator:
             return bits, None, None
 
         workers = min(self.trajectory_workers, len(sizes))
-        if workers <= 1:
-            results = [run_chunk(chunk) for chunk in range(len(sizes))]
-        else:
-            from .threads import limit_blas_threads
+        if self.trajectory_executor == "process":
+            from .fusion import compile_parametric_template_cached
+            from .procpool import run_trajectory_chunks
 
-            # Cap BLAS at cores-per-worker: without the cap every worker's
-            # GEMMs spawn a full OpenMP team and the workers x cores
-            # oversubscription erases the parallel speedup; capping below
-            # cores/workers would idle cores.  Knob: ``pin_blas_threads``.
-            if self.pin_blas_threads:
-                guard = limit_blas_threads(max(1, (os.cpu_count() or 1) // workers))
+            # Each worker process runs its own BLAS pools, so the
+            # oversubscription cap applies per process instead of via the
+            # parent's thread-local guard.
+            blas_threads = (
+                max(1, (os.cpu_count() or 1) // workers)
+                if self.pin_blas_threads and workers > 1
+                else None
+            )
+            bits_rows, state_data, last_index = run_trajectory_chunks(
+                circuit,
+                compile_parametric_template_cached(circuit),
+                self.noise_model,
+                sizes,
+                streams,
+                workers=workers,
+                dtype=self.trajectory_dtype,
+                gemm_threshold=self.noise_gemm_threshold,
+                blas_threads=blas_threads,
+            )
+            counts = Counts.from_array(np.concatenate(bits_rows, axis=0))
+            final_state = Statevector(circuit.num_qubits, data=state_data)
+        else:
+            if workers <= 1:
+                results = [run_chunk(chunk) for chunk in range(len(sizes))]
             else:
-                guard = nullcontext()
-            with guard, ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(run_chunk, range(len(sizes))))
-        counts = Counts.from_array(np.concatenate([bits for bits, _, _ in results], axis=0))
-        _, state, last_index = results[-1]
-        final_state = state.extract(-1)
+                from .threads import limit_blas_threads
+
+                # Cap BLAS at cores-per-worker: without the cap every worker's
+                # GEMMs spawn a full OpenMP team and the workers x cores
+                # oversubscription erases the parallel speedup; capping below
+                # cores/workers would idle cores.  Knob: ``pin_blas_threads``.
+                if self.pin_blas_threads:
+                    guard = limit_blas_threads(max(1, (os.cpu_count() or 1) // workers))
+                else:
+                    guard = nullcontext()
+                with guard, ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(run_chunk, range(len(sizes))))
+            counts = Counts.from_array(
+                np.concatenate([bits for bits, _, _ in results], axis=0)
+            )
+            _, state, last_index = results[-1]
+            final_state = state.extract(-1)
         if program.terminal is not None and not implicit and last_index is not None:
             self._collapse_terminal(final_state, program.terminal.pairs, last_index)
         extra.update(
@@ -926,39 +984,14 @@ class StatevectorSimulator:
         self, program, batch_size: int, rng: np.random.Generator
     ) -> Tuple[np.ndarray, "object", Optional[int]]:
         """Advance one chunk of trajectories through a compiled program."""
-        from .batched import BatchedStatevector  # local import: cycle with batched.py
-        from .fusion import GateStep, MeasureStep, ResetStep
-
-        state = BatchedStatevector(
-            program.num_qubits, batch_size, dtype=np.dtype(self.trajectory_dtype)
+        return execute_program_chunk(
+            program,
+            batch_size,
+            rng,
+            noise_model=self.noise_model,
+            dtype=self.trajectory_dtype,
+            gemm_threshold=self.noise_gemm_threshold,
         )
-        noise = self.noise_model
-        bits = np.zeros((batch_size, program.bits_width), dtype=np.uint8)
-        for step in program.steps:
-            if isinstance(step, GateStep):
-                state.apply_matrix(step.matrix, step.qubits, plan=step.plan)
-                if step.noise:
-                    state.apply_noise_events(
-                        step.noise, rng, gemm_threshold=self.noise_gemm_threshold
-                    )
-            elif isinstance(step, MeasureStep):
-                outcomes = state.measure(step.qubit, rng)
-                if noise is not None:
-                    outcomes = noise.apply_readout_error_batched(outcomes, rng)
-                bits[:, step.clbit] = outcomes
-            elif isinstance(step, ResetStep):
-                state.reset(step.qubit, rng)
-        last_index: Optional[int] = None
-        if program.terminal is not None:
-            indices = state.sample_all(rng)
-            last_index = int(indices[-1])
-            n = program.num_qubits
-            for qubit, clbit in program.terminal.pairs:
-                column = ((indices >> (n - 1 - qubit)) & 1).astype(np.uint8)
-                if noise is not None and not program.terminal.implicit:
-                    column = noise.apply_readout_error_batched(column, rng)
-                bits[:, clbit] = column
-        return bits, state, last_index
 
     @staticmethod
     def _collapse_terminal(
@@ -1052,3 +1085,56 @@ class StatevectorSimulator:
         extra["implicit_measurement"] = implicit
         extra["compiled_steps"] = len(program.steps)
         return Counts.from_samples(samples), final_state, extra
+
+
+def execute_program_chunk(
+    program,
+    batch_size: int,
+    rng: np.random.Generator,
+    *,
+    noise_model: Optional[NoiseModel],
+    dtype,
+    gemm_threshold,
+) -> Tuple[np.ndarray, "object", Optional[int]]:
+    """Advance one chunk of trajectories through a compiled program.
+
+    Module-level rather than a simulator method so the thread executor and
+    the process-pool workers (:mod:`~repro.simulators.gate.procpool`) run the
+    *same* chunk code: given the same program, chunk size and RNG stream the
+    two executors are bit-identical by construction, not by parallel
+    maintenance of two code paths.  Returns the chunk's classical-bit rows,
+    the final :class:`~repro.simulators.gate.batched.BatchedStatevector`
+    (pre terminal collapse), and the last trajectory's sampled terminal
+    index (``None`` without a terminal block).
+    """
+    from .batched import BatchedStatevector  # local import: cycle with batched.py
+    from .fusion import GateStep, MeasureStep, ResetStep
+
+    state = BatchedStatevector(program.num_qubits, batch_size, dtype=np.dtype(dtype))
+    noise = noise_model
+    bits = np.zeros((batch_size, program.bits_width), dtype=np.uint8)
+    for step in program.steps:
+        if isinstance(step, GateStep):
+            state.apply_matrix(step.matrix, step.qubits, plan=step.plan)
+            if step.noise:
+                state.apply_noise_events(
+                    step.noise, rng, gemm_threshold=gemm_threshold
+                )
+        elif isinstance(step, MeasureStep):
+            outcomes = state.measure(step.qubit, rng)
+            if noise is not None:
+                outcomes = noise.apply_readout_error_batched(outcomes, rng)
+            bits[:, step.clbit] = outcomes
+        elif isinstance(step, ResetStep):
+            state.reset(step.qubit, rng)
+    last_index: Optional[int] = None
+    if program.terminal is not None:
+        indices = state.sample_all(rng)
+        last_index = int(indices[-1])
+        n = program.num_qubits
+        for qubit, clbit in program.terminal.pairs:
+            column = ((indices >> (n - 1 - qubit)) & 1).astype(np.uint8)
+            if noise is not None and not program.terminal.implicit:
+                column = noise.apply_readout_error_batched(column, rng)
+            bits[:, clbit] = column
+    return bits, state, last_index

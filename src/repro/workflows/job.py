@@ -32,10 +32,26 @@ __all__ = ["write_artifacts", "read_artifacts", "run_artifacts"]
 PathLike = Union[str, Path]
 
 
+def _qop_sort_key(path: Path) -> tuple:
+    """Numeric-index sort key for ``QOP_<index>_<name>.json`` files.
+
+    Lexicographic order breaks past the zero-padding width (``QOP_1000_*``
+    sorts before ``QOP_999_*``), so the index is parsed as an integer; files
+    with an unparsable index sort after the numbered ones, by name.
+    """
+    parts = path.name.split("_", 2)
+    if len(parts) >= 2 and parts[1].isdigit():
+        return (0, int(parts[1]), path.name)
+    return (1, 0, path.name)
+
+
 def write_artifacts(bundle: JobBundle, directory: PathLike) -> Dict[str, List[str]]:
     """Write the bundle and its individual descriptors into *directory*.
 
     Returns a manifest mapping artifact kinds to the written file names.
+    Artifacts left over from a previous (larger) write — files a
+    ``job.json``-less :func:`read_artifacts` would otherwise fold into the
+    rebuilt bundle — are removed.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -46,7 +62,7 @@ def write_artifacts(bundle: JobBundle, directory: PathLike) -> Dict[str, List[st
         save_json(qdt.to_dict(), path)
         manifest["qdt"].append(path.name)
     for index, op in enumerate(bundle.operators):
-        path = directory / f"QOP_{index:03d}_{op.name}.json"
+        path = directory / f"QOP_{index:05d}_{op.name}.json"
         save_json(op.to_dict(), path)
         manifest["qop"].append(path.name)
     if bundle.context is not None:
@@ -57,6 +73,13 @@ def write_artifacts(bundle: JobBundle, directory: PathLike) -> Dict[str, List[st
     bundle.save(job_path)
     manifest["job"].append(job_path.name)
     save_json(manifest, directory / "manifest.json")
+
+    written = {name for names in manifest.values() for name in names}
+    for stale in directory.glob("Q*_*.json"):
+        if stale.name not in written:
+            stale.unlink()
+    if "CTX.json" not in written and (directory / "CTX.json").exists():
+        (directory / "CTX.json").unlink()
     return manifest
 
 
@@ -77,7 +100,7 @@ def read_artifacts(directory: PathLike) -> JobBundle:
     ]
     operators = OperatorSequence(
         QuantumOperatorDescriptor.from_dict(load_json(path))
-        for path in sorted(directory.glob("QOP_*.json"))
+        for path in sorted(directory.glob("QOP_*.json"), key=_qop_sort_key)
     )
     ctx_path = directory / "CTX.json"
     context: Optional[ContextDescriptor] = (

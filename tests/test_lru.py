@@ -1,0 +1,69 @@
+"""Regression tests for the shared compile-cache LRU.
+
+The load-bearing fix here: ``lookup`` used to treat any falsy stored value
+(``None``, ``0``, ``""``) as a miss, because absence was signalled by the
+``dict.get`` default.  Compile caches that legitimately store such values
+(e.g. a memoised "no stabilizer program possible" marker) then recompiled on
+every call while reporting a 0% hit rate.  Absence is now detected with a
+private sentinel, so falsy values hit like any other value.
+"""
+
+import pytest
+
+from repro.simulators.gate.lru import DEFAULT_CACHE_SIZE, BoundedLRU
+
+
+@pytest.mark.parametrize("value", [None, 0, "", False, (), 0.0])
+def test_falsy_values_count_as_hits(value):
+    cache = BoundedLRU(maxsize=4)
+    cache.store("k", value)
+    assert cache.lookup("k") == value
+    info = cache.info()
+    assert info["hits"] == 1
+    assert info["misses"] == 0
+
+
+def test_absent_key_is_a_miss():
+    cache = BoundedLRU(maxsize=4)
+    assert cache.lookup("absent") is None
+    info = cache.info()
+    assert info["hits"] == 0
+    assert info["misses"] == 1
+
+
+def test_none_hit_is_indistinguishable_from_miss_only_by_counters():
+    # lookup() still returns None for a stored None -- callers that must
+    # distinguish use `key in cache`, which does not perturb the counters.
+    cache = BoundedLRU(maxsize=4)
+    cache.store("k", None)
+    assert "k" in cache
+    assert "absent" not in cache
+    info = cache.info()
+    assert info["hits"] == 0
+    assert info["misses"] == 0
+
+
+def test_falsy_values_participate_in_lru_order():
+    cache = BoundedLRU(maxsize=2)
+    cache.store("a", 0)
+    cache.store("b", 1)
+    assert cache.lookup("a") == 0  # refresh "a": "b" is now oldest
+    cache.store("c", 2)
+    assert "b" not in cache
+    assert cache.lookup("a") == 0
+    assert cache.lookup("c") == 2
+
+
+def test_clear_resets_counters_and_default_size():
+    cache = BoundedLRU()
+    assert cache.info()["maxsize"] == DEFAULT_CACHE_SIZE
+    cache.store("k", "")
+    cache.lookup("k")
+    cache.lookup("gone")
+    cache.clear()
+    assert cache.info() == {
+        "hits": 0,
+        "misses": 0,
+        "entries": 0,
+        "maxsize": DEFAULT_CACHE_SIZE,
+    }

@@ -278,3 +278,123 @@ def test_backend_wires_pin_blas_threads():
     bundle = build_qaoa_bundle(problem, context=context)
     result = GateBackend().run(bundle)
     assert result.counts.shots == 64
+
+
+# -- process-pool executor equivalence (PR 8) ---------------------------------------
+
+@pytest.fixture(scope="module")
+def process_pool():
+    """Tear the persistent worker pool down after this module's tests."""
+    from repro.simulators.gate.procpool import shutdown_worker_pool
+
+    yield
+    shutdown_worker_pool()
+
+
+@pytest.mark.parametrize(
+    "make", [noisy_circuit, mid_circuit_measurement_circuit, reset_circuit]
+)
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_process_executor_counts_bit_identical_to_thread(make, workers, process_pool):
+    circuit, noise = make()
+    kwargs = dict(
+        noise_model=noise, max_batch_memory=128 * 32, trajectory_workers=workers
+    )
+    thread = StatevectorSimulator(trajectory_executor="thread", **kwargs).run(
+        circuit, shots=900, seed=71
+    )
+    process = StatevectorSimulator(trajectory_executor="process", **kwargs).run(
+        circuit, shots=900, seed=71
+    )
+    assert thread.metadata["trajectory_executor"] == "thread"
+    assert process.metadata["trajectory_executor"] == "process"
+    # Same chunk decomposition, same per-chunk streams: bit-identical counts.
+    assert process.metadata["num_batches"] == thread.metadata["num_batches"]
+    assert dict(process.counts) == dict(thread.counts)
+
+
+def test_process_executor_statevector_matches_thread(process_pool):
+    circuit, noise = reset_circuit()
+    kwargs = dict(noise_model=noise, max_batch_memory=128 * 32, trajectory_workers=2)
+    thread = StatevectorSimulator(**kwargs).run(
+        circuit, shots=300, seed=5, return_statevector=True
+    )
+    process = StatevectorSimulator(trajectory_executor="process", **kwargs).run(
+        circuit, shots=300, seed=5, return_statevector=True
+    )
+    assert np.allclose(thread.statevector.data, process.statevector.data)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_process_executor_stabilizer_counts_identical(workers, process_pool):
+    circuit = Circuit(4, 4)
+    circuit.h(0).cx(0, 1).cx(1, 2).cx(2, 3)
+    circuit.measure_all()
+    noise = NoiseModel(oneq_error=0.01, twoq_error=0.02, readout_error=0.01)
+    kwargs = dict(
+        noise_model=noise,
+        trajectory_engine="stabilizer",
+        max_batch_memory=64,
+        trajectory_workers=workers,
+    )
+    thread = StatevectorSimulator(**kwargs).run(circuit, shots=1500, seed=13)
+    process = StatevectorSimulator(trajectory_executor="process", **kwargs).run(
+        circuit, shots=1500, seed=13
+    )
+    assert process.metadata["trajectory_engine"] == "stabilizer"
+    assert dict(process.counts) == dict(thread.counts)
+
+
+def test_trajectory_executor_validation():
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(trajectory_executor="fork")
+    with pytest.raises(SimulationError):
+        StatevectorSimulator(trajectory_executor="auto")  # resolved at backend level
+    assert StatevectorSimulator(trajectory_executor="process").trajectory_executor == "process"
+
+
+def test_resolve_trajectory_executor(monkeypatch):
+    import os
+
+    from repro.backends.registry import resolve_trajectory_executor
+
+    assert resolve_trajectory_executor("thread") == "thread"
+    assert resolve_trajectory_executor("process") == "process"
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert resolve_trajectory_executor("auto") == "thread"
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    assert resolve_trajectory_executor("auto") == "process"
+
+
+def test_backend_wires_trajectory_executor(process_pool):
+    from repro.backends import GateBackend
+    from repro.problems import MaxCutProblem
+    from repro.workflows import build_qaoa_bundle
+
+    bundle = build_qaoa_bundle(MaxCutProblem.cycle(4))
+    options = bundle.context.exec.options
+    options["noise"] = {"oneq_error": 1e-3}
+    options["max_batch_memory"] = 4096
+    thread = GateBackend().run(bundle)
+    options["trajectory_executor"] = "process"
+    process = GateBackend().run(bundle)
+    assert process.metadata["trajectory_executor"] == "process"
+    assert dict(process.counts) == dict(thread.counts)
+
+
+def test_worker_pool_is_persistent_and_grow_only(process_pool):
+    from repro.simulators.gate.procpool import (
+        get_worker_pool,
+        shutdown_worker_pool,
+        worker_pool_info,
+    )
+
+    shutdown_worker_pool()
+    pool2 = get_worker_pool(2)
+    assert worker_pool_info() == {"workers": 2, "started": 1}
+    # Smaller request reuses the warm pool; larger request grows it.
+    assert get_worker_pool(1) is pool2
+    assert worker_pool_info()["workers"] == 2
+    pool4 = get_worker_pool(4)
+    assert pool4 is not pool2
+    assert worker_pool_info()["workers"] == 4

@@ -162,3 +162,36 @@ def test_qaoa_optimizer_improves_over_bad_angles(cycle4):
     assert result.evaluations == len(result.history) > 0
     assert result.optimal_cut == 4.0
     assert 0 < result.approximation_ratio <= 1.0
+
+
+def test_artifact_qop_order_is_numeric_not_lexicographic(cycle4, tmp_path, gate_context):
+    # Regression: read_artifacts sorted QOP files lexicographically, so an
+    # unpadded index (legacy layout) or one past the padding width reordered
+    # operators (QOP_10_* before QOP_2_*) and broke the bundle digest.
+    bundle = build_qaoa_bundle(cycle4, gammas=[-0.4] * 5, betas=[0.4] * 5,
+                               context=gate_context)
+    assert len(bundle.operators) > 10
+    write_artifacts(bundle, tmp_path / "poc")
+    for path in (tmp_path / "poc").glob("QOP_*.json"):
+        index, name = path.name[len("QOP_"):].split("_", 1)
+        path.rename(path.with_name(f"QOP_{int(index)}_{name}"))
+    rebuilt = read_artifacts(tmp_path / "poc")
+    assert [op.name for op in rebuilt.operators] == [op.name for op in bundle.operators]
+    assert rebuilt.digest() == bundle.digest()
+
+
+def test_artifact_rewrite_removes_stale_files(cycle4, tmp_path, gate_context):
+    # Regression: re-exporting a smaller bundle into the same directory left
+    # the old run's extra QOP files behind, and read_artifacts merged them
+    # into the rebuilt bundle.
+    big = build_qaoa_bundle(cycle4, gammas=[-0.4] * 3, betas=[0.4] * 3,
+                            context=gate_context)
+    small = build_qaoa_bundle(cycle4, context=gate_context)
+    assert len(big.operators) > len(small.operators)
+    write_artifacts(big, tmp_path / "poc")
+    manifest = write_artifacts(small, tmp_path / "poc")
+    on_disk = sorted(p.name for p in (tmp_path / "poc").glob("Q*_*.json"))
+    assert on_disk == sorted(manifest["qdt"] + manifest["qop"])
+    rebuilt = read_artifacts(tmp_path / "poc")
+    assert len(rebuilt.operators) == len(small.operators)
+    assert rebuilt.digest() == small.digest()

@@ -255,3 +255,14 @@ def test_schedule_makespan(cycle4):
     assert engine.startswith("gate.")
     with pytest.raises(ServiceError):
         schedule.engine_of("ghost")
+
+
+def test_schedule_rejects_duplicate_bundle_names(cycle4):
+    # Regression: placement results are looked up by bundle name
+    # (Schedule.engine_of), so two same-named bundles silently aliased to
+    # one placement; now the schedule call fails fast.
+    scheduler = CostAwareScheduler()
+    bundles = [build_qaoa_bundle(cycle4, name="twin"),
+               build_qaoa_bundle(cycle4, name="twin")]
+    with pytest.raises(ServiceError, match="duplicate bundle name 'twin'"):
+        scheduler.schedule(bundles)

@@ -1,0 +1,198 @@
+"""Tests for the async serving queue (:mod:`repro.services.serving`).
+
+The headline contract is coalescing: N structurally identical submissions
+form one execution group, pay one fusion/template compile, and still stream
+N independent results.  The rest covers admission control (no context, no
+capable engine, duplicate live names), the service-wide exec-option merge,
+mixed batches, and QEC bundles riding the same queue.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import ContextDescriptor, ExecPolicy, ServiceError, package, phase_register
+from repro.oplib import measurement, qft_operator, repetition_memory_operator, repetition_register
+from repro.services import CostAwareScheduler, JobService
+from repro.simulators.gate.fusion import clear_compile_caches, compile_cache_info
+from repro.workflows import build_qaoa_bundle
+from repro.problems import MaxCutProblem
+
+
+def qft_bundle(name, *, width=4, seed=1, samples=256):
+    reg = phase_register("p", width)
+    return package(
+        reg,
+        [qft_operator(reg, do_swaps=True), measurement(reg)],
+        ContextDescriptor(
+            exec=ExecPolicy(engine="gate.aer_simulator", samples=samples, seed=seed)
+        ),
+        name=name,
+    )
+
+
+def qec_bundle(name, *, distance=5, rounds=3, seed=7):
+    reg = repetition_register("patch", distance)
+    return package(
+        reg,
+        [repetition_memory_operator(reg, distance, rounds=rounds)],
+        ContextDescriptor(
+            exec=ExecPolicy(
+                engine="gate.aer_simulator",
+                samples=200,
+                seed=seed,
+                options={
+                    "trajectory_engine": "auto",
+                    "noise": {"oneq_error": 1e-3, "twoq_error": 2e-3},
+                },
+            )
+        ),
+        name=name,
+    )
+
+
+def test_submit_many_coalesces_identical_structures():
+    # N structurally identical circuits -> 1 group, 1 template compile,
+    # N independent result streams.
+    clear_compile_caches()
+    bundles = [qft_bundle(f"user{i}", seed=i + 1) for i in range(5)]
+    with JobService(lanes=1) as service:
+        tickets = service.submit_many(bundles)
+        results = {ticket.name: ticket.result(timeout=60) for ticket in tickets}
+        stats = service.stats()
+    assert stats == {
+        "submitted": 5,
+        "completed": 5,
+        "failed": 0,
+        "groups": 1,
+        "coalesced": 4,
+    }
+    assert compile_cache_info()["template"]["misses"] == 1
+    assert len(results) == 5
+    positions = set()
+    for ticket in tickets:
+        serving = results[ticket.name].metadata["serving"]
+        assert serving["group_size"] == 5
+        assert serving["job_id"] == ticket.job_id
+        positions.add(serving["group_position"])
+    assert positions == set(range(5))
+    # Different seeds really did run independently.
+    assert results["user1"].counts.shots == 256
+
+
+def test_coalescing_disabled_gives_singleton_groups():
+    bundles = [qft_bundle(f"solo{i}", seed=i + 1) for i in range(3)]
+    with JobService(lanes=1, coalesce=False) as service:
+        service.submit_many(bundles)
+        service.drain()
+        stats = service.stats()
+    assert stats["groups"] == 3
+    assert stats["coalesced"] == 0
+    assert stats["completed"] == 3
+
+
+def test_as_completed_streams_every_submission():
+    with JobService(lanes=2) as service:
+        service.submit_many([qft_bundle(f"s{i}", seed=i + 1) for i in range(4)])
+        seen = [ticket.name for ticket in service.as_completed(timeout=60)]
+    assert sorted(seen) == ["s0", "s1", "s2", "s3"]
+
+
+def test_duplicate_live_name_rejected_then_reusable(monkeypatch):
+    from repro.services import serving as serving_module
+
+    real_submit = serving_module.runtime_submit
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated_submit(bundle, **kwargs):
+        started.set()
+        assert release.wait(timeout=60)
+        return real_submit(bundle, **kwargs)
+
+    monkeypatch.setattr(serving_module, "runtime_submit", gated_submit)
+    with JobService(lanes=1) as service:
+        first = service.submit(qft_bundle("dup"))
+        assert started.wait(timeout=60)  # job is live on the lane
+        with pytest.raises(ServiceError, match="already queued or running"):
+            service.submit(qft_bundle("dup"))
+        release.set()
+        assert first.result(timeout=60).counts.shots == 256
+        # After completion the name is free again.
+        second = service.submit(qft_bundle("dup", seed=2))
+        assert second.result(timeout=60) is not None
+        assert service.ticket("dup") is second
+
+
+def test_admission_requires_context():
+    bundle = qft_bundle("bare").with_context(None)
+    with JobService() as service:
+        with pytest.raises(ServiceError, match="no execution context"):
+            service.submit(bundle)
+        assert service.stats()["submitted"] == 0
+
+
+def test_admission_requires_capable_engine():
+    # A gate-only scheduler cannot place an annealing bundle.
+    from repro.workflows import build_anneal_bundle
+
+    scheduler = CostAwareScheduler(engines=("gate.aer_simulator",))
+    bundle = build_anneal_bundle(MaxCutProblem.cycle(4))
+    with JobService(scheduler=scheduler) as service:
+        with pytest.raises(ServiceError):
+            service.submit(bundle)
+        assert service.stats()["submitted"] == 0
+
+
+def test_submit_after_close_rejected():
+    service = JobService()
+    service.close()
+    with pytest.raises(ServiceError, match="closed"):
+        service.submit(qft_bundle("late"))
+
+
+def test_exec_options_merge_reaches_backend():
+    bundle = build_qaoa_bundle(MaxCutProblem.cycle(4))
+    overrides = {"noise": {"oneq_error": 1e-3}, "max_batch_memory": 4096}
+    with JobService(exec_options=overrides) as service:
+        result = service.submit(bundle).result(timeout=60)
+    assert result.metadata["num_batches"] > 1
+    assert result.metadata["trajectory_executor"] == "thread"
+    # The caller's bundle is untouched: the merge happens on a copy.
+    assert "noise" not in bundle.context.exec.options
+
+
+def test_mixed_batch_places_per_bundle_and_qec_uses_stabilizer():
+    bundles = [
+        qft_bundle("fourier"),
+        qec_bundle("memory"),
+        build_qaoa_bundle(MaxCutProblem.cycle(4), name="maxcut"),
+    ]
+    with JobService(lanes=2) as service:
+        tickets = {t.name: t for t in service.submit_many(bundles)}
+        service.drain()
+        stats = service.stats()
+    assert stats["completed"] == 3
+    assert stats["failed"] == 0
+    qec_result = tickets["memory"].result()
+    assert qec_result.metadata["trajectory_engine"] == "stabilizer"
+    assert qec_result.counts.shots == 200
+    assert tickets["fourier"].engine.startswith("gate.")
+
+
+def test_failure_routes_to_ticket_not_service(monkeypatch):
+    from repro.services import serving as serving_module
+
+    def exploding_submit(bundle, **kwargs):
+        raise RuntimeError("backend fell over")
+
+    monkeypatch.setattr(serving_module, "runtime_submit", exploding_submit)
+    with JobService() as service:
+        ticket = service.submit(qft_bundle("doomed"))
+        exc = ticket.exception(timeout=60)
+        assert isinstance(exc, RuntimeError)
+        with pytest.raises(RuntimeError, match="fell over"):
+            ticket.result()
+        stats = service.stats()
+    assert stats["failed"] == 1
+    assert stats["completed"] == 0
