@@ -152,6 +152,17 @@ class GateBackend(Backend):
             bound trajectory programs, transpile templates; see
             :func:`~repro.simulators.gate.fusion.set_compile_cache_size`).
             ``None`` keeps the current bound (256 by default).
+        ``fault_plan`` (mapping or ``None``, default ``None``)
+            Deterministic fault-injection schedule for the chunk executors
+            (:class:`~repro.simulators.gate.faults.FaultPlan` dict spec:
+            an ``events`` list or a seeded chaos spec).  Injected
+            ``"kill"`` faults exercise the process pool's worker-crash
+            recovery — recovered seeded counts stay bit-identical to an
+            uncrashed run; ``"raise"`` faults surface as the transient
+            :class:`~repro.core.errors.TransientExecutionError` for the
+            serving layer's retry policy.  Test/chaos tooling only: leave
+            unset in production (the disabled path costs one attribute
+            check per chunk).
         ``verify_compiled`` (bool, default ``False``)
             Run every compiled artifact of the run — the bound trajectory
             program, its structural template and the result metadata —
@@ -217,6 +228,9 @@ class GateBackend(Backend):
                     "noise_gemm_threshold", DEFAULT_NOISE_GEMM_THRESHOLD
                 ),
                 compile_cache_size=exec_policy.options.get("compile_cache_size"),
+                # Passed through unconverted: the simulator coerces dict
+                # specs through FaultPlan.coerce and enforces the contract.
+                fault_plan=exec_policy.options.get("fault_plan"),
                 # Passed through unconverted: the simulator enforces the
                 # bool contract.
                 verify_compiled=exec_policy.options.get("verify_compiled", False),
@@ -259,6 +273,7 @@ class GateBackend(Backend):
                 "trajectory_engine": simulation.metadata.get("trajectory_engine"),
                 "trajectory_executor": simulation.metadata.get("trajectory_executor"),
                 "trajectory_workers": simulation.metadata.get("trajectory_workers"),
+                "executor_recovery": simulation.metadata.get("executor_recovery"),
                 "num_batches": simulation.metadata.get("num_batches"),
                 "uses_qec": context.uses_qec,
             },

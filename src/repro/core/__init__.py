@@ -20,17 +20,22 @@ from .cost import CostHint
 from .errors import (
     BackendError,
     CapabilityError,
+    ChunkReassemblyError,
     CompatibilityError,
     ContextError,
+    DeadlineExceededError,
     DecodingError,
     DescriptorError,
     LoweringError,
     MiddleLayerError,
     PackagingError,
+    QueueFullError,
     SchemaValidationError,
     ServiceError,
     SimulationError,
     TranspilerError,
+    TransientExecutionError,
+    WorkerCrashError,
 )
 from .provenance import Provenance, build_provenance
 from .qdt import (
@@ -121,4 +126,9 @@ __all__ = [
     "ServiceError",
     "TranspilerError",
     "SimulationError",
+    "TransientExecutionError",
+    "WorkerCrashError",
+    "ChunkReassemblyError",
+    "DeadlineExceededError",
+    "QueueFullError",
 ]

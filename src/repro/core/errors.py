@@ -8,6 +8,8 @@ incompatibilities, lowering failures, and backend execution errors.
 
 from __future__ import annotations
 
+from concurrent.futures import BrokenExecutor
+
 __all__ = [
     "MiddleLayerError",
     "SchemaValidationError",
@@ -23,6 +25,13 @@ __all__ = [
     "TranspilerError",
     "SimulationError",
     "UnsupportedGateError",
+    "TransientExecutionError",
+    "WorkerCrashError",
+    "ChunkReassemblyError",
+    "DeadlineExceededError",
+    "QueueFullError",
+    "is_transient_error",
+    "is_pool_breakage",
 ]
 
 
@@ -122,3 +131,90 @@ class UnsupportedGateError(SimulationError):
         super().__init__(message)
         self.gate = gate
         self.index = index
+
+
+class TransientExecutionError(SimulationError):
+    """An execution failure that is expected to succeed on a clean retry.
+
+    The transient/permanent split is the serving layer's retry contract:
+    only this type (and executor-level pool breakage, see
+    :func:`is_transient_error`) is eligible for
+    :class:`~repro.services.serving.RetryPolicy` re-execution.  Anything
+    else — a bad circuit, a schema violation, a deterministic simulator
+    error — would fail identically on every attempt and is surfaced
+    immediately.  The deterministic fault injector
+    (:class:`~repro.simulators.gate.faults.FaultPlan`) raises exactly this
+    type for its ``"raise"`` faults so recovery paths are testable.
+    """
+
+
+class WorkerCrashError(TransientExecutionError):
+    """A worker process died and in-run recovery was exhausted.
+
+    Raised by the process-pool chunk executors
+    (:mod:`~repro.simulators.gate.procpool`) when the pool broke more times
+    than the per-run rebuild budget.  Transient by definition — a fresh pool
+    on a retry may well succeed — and classified as *pool breakage* for the
+    serving layer's process→thread degradation ladder.
+    """
+
+    def __init__(self, message: str, *, rebuilds: int = 0):
+        super().__init__(message)
+        self.rebuilds = rebuilds
+
+
+class ChunkReassemblyError(SimulationError):
+    """A chunked run lost one or more chunk results during reassembly.
+
+    Raised instead of passing ``None`` bit rows downstream when a chunk slot
+    was never filled — a lost future, a worker that returned a partial
+    group, a bookkeeping bug.  Carries the missing chunk ids for diagnosis.
+    """
+
+    def __init__(self, missing, total: int):
+        self.missing = tuple(int(c) for c in missing)
+        self.total = int(total)
+        super().__init__(
+            f"chunk reassembly lost {len(self.missing)} of {self.total} "
+            f"chunks (missing chunk ids: {list(self.missing)})"
+        )
+
+
+class DeadlineExceededError(ServiceError):
+    """A served job ran past its cooperative deadline and was abandoned.
+
+    Permanent by classification (retrying a job that just burned its
+    deadline would burn another), so it never enters the retry loop: the
+    ticket fails and the lane is freed.
+    """
+
+
+class QueueFullError(ServiceError):
+    """Admission rejected a submission because the pending queue is full.
+
+    The synchronous backpressure signal of
+    :class:`~repro.services.serving.JobService`: raised from ``submit`` /
+    ``submit_many`` while the number of live (queued or running) jobs is at
+    ``max_pending``.  Callers should back off and resubmit.
+    """
+
+
+def is_transient_error(exc: BaseException) -> bool:
+    """Whether *exc* is retry-eligible under the transient/permanent taxonomy.
+
+    Transient: :class:`TransientExecutionError` (including
+    :class:`WorkerCrashError`) and executor pool breakage
+    (:class:`concurrent.futures.BrokenExecutor`, which
+    ``BrokenProcessPool`` subclasses).  Everything else — including
+    :class:`DeadlineExceededError` — is permanent.
+    """
+    return isinstance(exc, (TransientExecutionError, BrokenExecutor))
+
+
+def is_pool_breakage(exc: BaseException) -> bool:
+    """Whether *exc* signals worker-process death (pool breakage).
+
+    The serving layer counts these toward its process→thread executor
+    degradation ladder; plain transient errors do not.
+    """
+    return isinstance(exc, (WorkerCrashError, BrokenExecutor))

@@ -10,7 +10,7 @@ from .annealing import AnnealingSubmissionService, Embedding, EmbeddingService, 
 from .communication import CommunicationPlan, CommunicationService, interaction_graph
 from .pulse import DEFAULT_GATE_DURATIONS_NS, PulseInstruction, PulseSchedule, PulseService
 from .qec import QECPlan, QECService, SurfaceCodeModel
-from .serving import JobService, JobTicket
+from .serving import JobService, JobTicket, RetryPolicy, ServiceStats
 from .scheduler import (
     CostAwareScheduler,
     EnginePerformanceModel,
@@ -39,4 +39,6 @@ __all__ = [
     "ScheduledJob",
     "JobService",
     "JobTicket",
+    "RetryPolicy",
+    "ServiceStats",
 ]

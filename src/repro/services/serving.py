@@ -11,7 +11,11 @@ Three properties matter at serving scale:
 * **Admission control** — a submission with no capable engine (or a job
   name already queued) fails synchronously with
   :class:`~repro.core.errors.ServiceError`, before anything is enqueued,
-  so the queue never holds work that cannot run.
+  so the queue never holds work that cannot run.  With ``max_pending``
+  set, admission is additionally **bounded**: submissions past the live
+  budget fail synchronously with
+  :class:`~repro.core.errors.QueueFullError` — backpressure instead of an
+  unbounded queue.
 * **Coalescing** — structurally identical circuits from different users
   (a sampled variational sweep, a class of students running the same
   template) are grouped on the structure-keyed compile-cache key
@@ -21,31 +25,149 @@ Three properties matter at serving scale:
   warm caches — N submissions, one compile, N independent result streams.
 * **Streaming** — :meth:`JobService.as_completed` yields tickets in
   completion order; each :class:`JobTicket` is also a future-like handle
-  (``done()`` / ``result()`` / ``exception()``) for point lookups, and
-  :meth:`JobService.ticket` resolves a handle by job name.
+  (``done()`` / ``result()`` / ``exception()`` / ``cancel()``) for point
+  lookups, and :meth:`JobService.ticket` resolves a handle by job name.
+
+Fault tolerance (PR 9) adds the policies production schedulers treat as
+table stakes, built on the transient/permanent error taxonomy of
+:mod:`repro.core.errors`:
+
+* **Deadlines** — a job whose bundle carries ``deadline_s`` (or a
+  service-wide ``default_deadline_s``) is abandoned cooperatively when it
+  runs over: the ticket fails with
+  :class:`~repro.core.errors.DeadlineExceededError` and the lane moves on
+  (the runaway attempt finishes on a detached daemon thread and its
+  result is discarded).  Deadline failures are permanent — they never
+  enter the retry loop.
+* **Retries** — a :class:`RetryPolicy` re-executes **transient** failures
+  only (:func:`~repro.core.errors.is_transient_error`): bounded attempts,
+  exponential backoff, and *seeded deterministic* jitter so a retry
+  schedule replays exactly from ``(policy seed, job id, attempt)``.
+* **Degradation** — repeated worker-pool breakage
+  (:func:`~repro.core.errors.is_pool_breakage`, counting both in-run
+  recovered crashes and unrecovered ones) flips the service to forcing
+  ``trajectory_executor="thread"`` on subsequent executions: slower but
+  immune to process death.  The flip is recorded in each result's
+  ``metadata["serving"]["executor_fallback"]`` and in the stats surface.
+* **Observability** — :meth:`JobService.stats` /
+  :meth:`JobService.service_stats` expose the recovery counters
+  (``retries``, ``crashes_recovered``, ``deadline_kills``, ``cancelled``,
+  ``rejected``, ``pool_breakages``, ``executor_fallback``) next to the
+  original throughput counters.
 
 The service performs no wall-clock reads of its own: per-job timing comes
 from the submission runtime's existing instrumentation
-(``metadata["wall_time_s"]``), and throughput accounting belongs to the
-caller (see ``benchmarks/bench_serving.py``).
+(``metadata["wall_time_s"]``), deadlines and backoffs are event waits, and
+throughput accounting belongs to the caller (see
+``benchmarks/bench_serving.py``).
 """
 
 from __future__ import annotations
 
 import queue as queue_module
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..backends.base import ExecutionResult
 from ..backends.registry import get_backend
 from ..backends.runtime import submit as runtime_submit
 from ..core.bundle import JobBundle
-from ..core.errors import ServiceError
+from ..core.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceError,
+    is_pool_breakage,
+    is_transient_error,
+)
 from .scheduler import CostAwareScheduler
 
-__all__ = ["JobTicket", "JobService"]
+__all__ = ["JobTicket", "JobService", "RetryPolicy", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, transient-only retry with seeded deterministic backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total executions allowed per job (first attempt included); ``1``
+        disables retries.
+    backoff_s:
+        Base delay before the first retry; attempt *k*'s delay is
+        ``backoff_s * multiplier**k`` before jitter.
+    multiplier:
+        Exponential growth factor per retry.
+    jitter:
+        Relative jitter amplitude in ``[0, 1)``: the delay is scaled by a
+        factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.  The draw
+        is **deterministic** — seeded from ``(seed, job_id, attempt)`` — so
+        a retry schedule replays bit-identically, in keeping with the
+        repo's seeded-determinism discipline.
+    seed:
+        Non-negative jitter seed.
+
+    Only failures classified transient by
+    :func:`~repro.core.errors.is_transient_error` are retried; permanent
+    failures (including deadline expiry) surface immediately.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.max_attempts, int) or isinstance(self.max_attempts, bool):
+            raise ServiceError("RetryPolicy.max_attempts must be an int >= 1")
+        if self.max_attempts < 1:
+            raise ServiceError("RetryPolicy.max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ServiceError("RetryPolicy.backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ServiceError("RetryPolicy.multiplier must be >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ServiceError("RetryPolicy.jitter must be in [0, 1)")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ServiceError("RetryPolicy.seed must be a non-negative int")
+
+    def delay_s(self, job_id: int, attempt: int) -> float:
+        """The deterministic backoff before retrying *attempt* of *job_id*.
+
+        *attempt* is zero-based: the delay after the first failure is
+        ``delay_s(job_id, 0)``.  Identical ``(seed, job_id, attempt)``
+        triples always produce identical delays.
+        """
+        base = self.backoff_s * self.multiplier ** attempt
+        if base <= 0.0 or self.jitter == 0.0:
+            return base
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, int(job_id), int(attempt)])
+        )
+        return base * (1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0))
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Typed snapshot of the service counters (see :meth:`JobService.stats`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    groups: int = 0
+    coalesced: int = 0
+    retries: int = 0
+    crashes_recovered: int = 0
+    deadline_kills: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    pool_breakages: int = 0
+    executor_fallback: bool = False
 
 
 @dataclass
@@ -59,9 +181,11 @@ class JobTicket:
     coalesce_key: Any = field(repr=False, default=None)
     _bundle: Optional[JobBundle] = field(repr=False, default=None)
     _future: Future = field(repr=False, default_factory=Future)
+    _service: Optional["JobService"] = field(repr=False, default=None)
+    _cancel_noted: bool = field(repr=False, default=False)
 
     def done(self) -> bool:
-        """Whether the job has finished (successfully or not)."""
+        """Whether the job has finished (successfully, failed, or cancelled)."""
         return self._future.done()
 
     def result(self, timeout: Optional[float] = None) -> ExecutionResult:
@@ -69,8 +193,28 @@ class JobTicket:
         return self._future.result(timeout)
 
     def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
-        """Block for the job's failure, or ``None`` if it succeeded."""
+        """Block for the job's failure, or ``None`` if it succeeded.
+
+        A cancelled ticket raises :class:`concurrent.futures.CancelledError`
+        (future semantics), it does not *return* it.
+        """
         return self._future.exception(timeout)
+
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started executing.
+
+        Returns ``True`` when the job was (or already had been) cancelled:
+        the ticket's future fails with
+        :class:`concurrent.futures.CancelledError`, the job is skipped by
+        its lane, and it still appears once in the
+        :meth:`JobService.as_completed` stream.  A job that is already
+        running or finished returns ``False`` — execution is cooperative,
+        never interrupted mid-flight.
+        """
+        cancelled = self._future.cancel()
+        if cancelled and self._service is not None:
+            self._service._note_cancelled(self)
+        return cancelled
 
 
 class JobService:
@@ -95,9 +239,34 @@ class JobService:
         bundle (submission wins on conflicts is **not** the rule — the
         service's entries override, so operators can force e.g.
         ``trajectory_executor="process"`` fleet-wide).
+    retry_policy:
+        Optional :class:`RetryPolicy`.  Transient failures
+        (:func:`~repro.core.errors.is_transient_error`) re-execute with
+        exponential, deterministically jittered backoff; ``None`` (default)
+        surfaces every failure on its first occurrence.
+    max_pending:
+        Optional bound on **live** jobs (queued or running, not yet
+        settled).  Admission past the bound fails synchronously with
+        :class:`~repro.core.errors.QueueFullError`; ``submit_many`` is
+        all-or-nothing against the bound.  ``None`` (default) leaves the
+        queue unbounded.
+    default_deadline_s:
+        Optional service-wide deadline applied to jobs whose bundles do not
+        carry their own ``deadline_s`` exec option.  A job running past its
+        deadline fails with
+        :class:`~repro.core.errors.DeadlineExceededError` and frees its
+        lane; the abandoned attempt finishes on a detached daemon thread.
+    fallback_after:
+        Pool-breakage budget of the degradation ladder (default ``3``):
+        once the cumulative count of worker-pool breakages — in-run
+        recovered crashes plus unrecovered ones — reaches this value, the
+        service forces ``trajectory_executor="thread"`` on every subsequent
+        execution (recorded in result metadata and
+        ``stats()["executor_fallback"]``).
 
     Use as a context manager or call :meth:`close` to stop the dispatcher
-    and wait for in-flight work.
+    and wait for in-flight work; ``close(drain=False)`` cancels every job
+    that has not started instead of running the queue dry.
     """
 
     def __init__(
@@ -107,12 +276,41 @@ class JobService:
         lanes: int = 1,
         coalesce: bool = True,
         exec_options: Optional[Dict[str, Any]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_pending: Optional[int] = None,
+        default_deadline_s: Optional[float] = None,
+        fallback_after: int = 3,
     ):
         if lanes < 1:
             raise ServiceError("job service needs at least one execution lane")
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ServiceError(
+                f"retry_policy must be a RetryPolicy or None, got {retry_policy!r}"
+            )
+        if max_pending is not None:
+            if not isinstance(max_pending, int) or isinstance(max_pending, bool):
+                raise ServiceError("max_pending must be a positive int or None")
+            if max_pending < 1:
+                raise ServiceError("max_pending must be >= 1 (or None)")
+        if default_deadline_s is not None and not (
+            isinstance(default_deadline_s, (int, float))
+            and not isinstance(default_deadline_s, bool)
+            and default_deadline_s > 0
+        ):
+            raise ServiceError("default_deadline_s must be a positive number or None")
+        if not isinstance(fallback_after, int) or isinstance(fallback_after, bool):
+            raise ServiceError("fallback_after must be an int >= 1")
+        if fallback_after < 1:
+            raise ServiceError("fallback_after must be >= 1")
         self._scheduler = scheduler or CostAwareScheduler()
         self._coalesce = bool(coalesce)
         self._exec_options = dict(exec_options or {})
+        self._retry_policy = retry_policy
+        self._max_pending = max_pending
+        self._default_deadline_s = (
+            None if default_deadline_s is None else float(default_deadline_s)
+        )
+        self._fallback_after = fallback_after
         self._wake = threading.Condition()
         self._pending: List[JobTicket] = []
         self._all: List[JobTicket] = []
@@ -125,10 +323,20 @@ class JobService:
             "failed": 0,
             "groups": 0,
             "coalesced": 0,
+            "retries": 0,
+            "crashes_recovered": 0,
+            "deadline_kills": 0,
+            "cancelled": 0,
+            "rejected": 0,
+            "pool_breakages": 0,
+            "executor_fallback": 0,
         }
+        self._live = 0
         self._streamed = 0
         self._job_counter = 0
         self._closed = False
+        self._drain_on_close = True
+        self._stop_event = threading.Event()
         self._lanes = ThreadPoolExecutor(
             max_workers=lanes, thread_name_prefix="serving-lane"
         )
@@ -144,7 +352,9 @@ class JobService:
         Raises :class:`ServiceError` synchronously when no registered
         engine can execute the bundle, when the bundle has no execution
         context, when its name is already queued or running, or when the
-        service is closed.
+        service is closed — and :class:`QueueFullError` (a
+        :class:`ServiceError`) when ``max_pending`` live jobs are already
+        in flight.
         """
         bundle = self._admit(bundle)
         engine, estimate = self._scheduler.choose_engine(bundle)
@@ -156,7 +366,9 @@ class JobService:
         The whole batch is placed with
         :meth:`CostAwareScheduler.schedule` (which rejects duplicate bundle
         names) and enqueued under one lock, so a coalescable batch reaches
-        the dispatcher as one unit.  Tickets return in input order.
+        the dispatcher as one unit.  Against ``max_pending`` the batch is
+        all-or-nothing: if it does not fit, nothing is enqueued and
+        :class:`QueueFullError` is raised.  Tickets return in input order.
         """
         admitted = [self._admit(bundle) for bundle in bundles]
         schedule = self._scheduler.schedule(admitted)
@@ -166,6 +378,16 @@ class JobService:
             for bundle in admitted
         ]
         with self._wake:
+            if (
+                self._max_pending is not None
+                and self._live + len(admitted) > self._max_pending
+            ):
+                with self._stats_lock:
+                    self._stats["rejected"] += len(admitted)
+                raise QueueFullError(
+                    f"batch of {len(admitted)} does not fit: {self._live} live "
+                    f"jobs against max_pending={self._max_pending}"
+                )
             tickets = [
                 self._enqueue_locked(
                     bundle,
@@ -187,13 +409,25 @@ class JobService:
                 f"bundle {bundle.name!r} has no execution context; the serving "
                 "queue requires an explicit exec policy"
             )
-        if not self._exec_options:
-            return bundle
-        exec_policy = replace(
-            bundle.context.exec,
-            options={**bundle.context.exec.options, **self._exec_options},
+        if self._exec_options:
+            exec_policy = replace(
+                bundle.context.exec,
+                options={**bundle.context.exec.options, **self._exec_options},
+            )
+            bundle = bundle.with_context(replace(bundle.context, exec=exec_policy))
+        deadline = bundle.context.exec.options.get(
+            "deadline_s", self._default_deadline_s
         )
-        return bundle.with_context(replace(bundle.context, exec=exec_policy))
+        if deadline is not None and not (
+            isinstance(deadline, (int, float))
+            and not isinstance(deadline, bool)
+            and deadline > 0
+        ):
+            raise ServiceError(
+                f"bundle {bundle.name!r} has an invalid deadline_s {deadline!r}; "
+                "expected a positive number of seconds"
+            )
+        return bundle
 
     def _coalesce_key(self, bundle: JobBundle, engine: str) -> Any:
         """Structure-keyed grouping key; unique object when not coalescable."""
@@ -220,6 +454,13 @@ class JobService:
         """Queue one placed bundle; caller holds ``self._wake``."""
         if self._closed:
             raise ServiceError("job service is closed")
+        if self._max_pending is not None and self._live >= self._max_pending:
+            with self._stats_lock:
+                self._stats["rejected"] += 1
+            raise QueueFullError(
+                f"job {bundle.name!r} rejected: {self._live} live jobs against "
+                f"max_pending={self._max_pending}; back off and resubmit"
+            )
         active = self._by_name.get(bundle.name)
         if active is not None and not active.done():
             raise ServiceError(
@@ -235,10 +476,12 @@ class JobService:
             estimated_runtime_s=estimate,
             coalesce_key=key,
             _bundle=bundle,
+            _service=self,
         )
         self._by_name[bundle.name] = ticket
         self._all.append(ticket)
         self._pending.append(ticket)
+        self._live += 1
         with self._stats_lock:
             self._stats["submitted"] += 1
         return ticket
@@ -250,6 +493,10 @@ class JobService:
             with self._wake:
                 while not self._pending and not self._closed:
                     self._wake.wait()
+                if self._closed and not self._drain_on_close:
+                    # close(drain=False) already cancelled these tickets.
+                    self._pending.clear()
+                    return
                 if not self._pending and self._closed:
                     return
                 batch = list(self._pending)
@@ -266,42 +513,164 @@ class JobService:
     def _run_group(self, tickets: List[JobTicket]) -> None:
         """Execute one coalesced group back-to-back on this lane."""
         for position, ticket in enumerate(tickets):
+            if not ticket._future.set_running_or_notify_cancel():
+                # Cancelled before start; cancel() already settled the ticket.
+                continue
+            self._run_job(ticket, len(tickets), position)
+            self._settle(ticket)
+
+    def _run_job(self, ticket: JobTicket, group_size: int, position: int) -> None:
+        """One job's attempt loop: deadline, transient retry, degradation."""
+        policy = self._retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        attempt = 0
+        while True:
             try:
-                result = runtime_submit(
-                    ticket._bundle,
-                    backend=get_backend(ticket.engine),
-                    validate=False,
-                )
-                result.metadata["serving"] = {
-                    "job_id": ticket.job_id,
-                    "engine": ticket.engine,
-                    "group_size": len(tickets),
-                    "group_position": position,
-                }
-            except BaseException as exc:  # noqa: BLE001 - routed to the ticket
+                result, degraded = self._execute_attempt(ticket)
+            except DeadlineExceededError as exc:
+                # Permanent by classification: the deadline is already spent.
                 with self._stats_lock:
+                    self._stats["deadline_kills"] += 1
                     self._stats["failed"] += 1
                 ticket._future.set_exception(exc)
-            else:
+                return
+            except BaseException as exc:  # noqa: BLE001 - routed to the ticket
+                if is_pool_breakage(exc):
+                    self._note_pool_breakage()
+                if not (attempt + 1 < max_attempts and is_transient_error(exc)):
+                    with self._stats_lock:
+                        self._stats["failed"] += 1
+                    ticket._future.set_exception(exc)
+                    return
                 with self._stats_lock:
-                    self._stats["completed"] += 1
-                ticket._future.set_result(result)
-            self._events.put(ticket)
+                    self._stats["retries"] += 1
+                delay = policy.delay_s(ticket.job_id, attempt)
+                if delay > 0:
+                    # Interruptible backoff: close() sets the stop event.
+                    self._stop_event.wait(delay)
+                attempt += 1
+                continue
+            recovery = result.metadata.get("executor_recovery") or {}
+            rebuilds = int(recovery.get("pool_rebuilds") or 0)
+            if rebuilds:
+                # Recovered in-run crashes still count toward degradation.
+                self._note_pool_breakage(count=rebuilds, recovered=True)
+            result.metadata["serving"] = {
+                "job_id": ticket.job_id,
+                "engine": ticket.engine,
+                "group_size": group_size,
+                "group_position": position,
+                "attempts": attempt + 1,
+                "executor_fallback": degraded,
+            }
+            with self._stats_lock:
+                self._stats["completed"] += 1
+            ticket._future.set_result(result)
+            return
+
+    def _execute_attempt(self, ticket: JobTicket) -> Tuple[ExecutionResult, bool]:
+        """Run one execution attempt, honouring degradation and the deadline."""
+        bundle = ticket._bundle
+        with self._stats_lock:
+            degraded = bool(self._stats["executor_fallback"])
+        if degraded:
+            bundle = self._degrade_bundle(bundle)
+        deadline = bundle.context.exec.options.get(
+            "deadline_s", self._default_deadline_s
+        )
+        if deadline is None:
+            result = runtime_submit(
+                bundle, backend=get_backend(ticket.engine), validate=False
+            )
+            return result, degraded
+        box: Dict[str, Any] = {}
+        finished = threading.Event()
+
+        def run_attempt() -> None:
+            try:
+                box["result"] = runtime_submit(
+                    bundle, backend=get_backend(ticket.engine), validate=False
+                )
+            except BaseException as exc:  # noqa: BLE001 - shipped to the lane
+                box["error"] = exc
+            finally:
+                finished.set()
+
+        worker = threading.Thread(
+            target=run_attempt,
+            name=f"serving-deadline-{ticket.job_id}",
+            daemon=True,  # an abandoned attempt must not block interpreter exit
+        )
+        worker.start()
+        if not finished.wait(float(deadline)):
+            raise DeadlineExceededError(
+                f"job {ticket.name!r} exceeded its {deadline}s deadline; "
+                "the attempt was abandoned and its lane freed"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"], degraded
+
+    def _degrade_bundle(self, bundle: JobBundle) -> JobBundle:
+        """Force the thread executor on a bundle after pool-breakage fallback."""
+        options = bundle.context.exec.options
+        if options.get("trajectory_executor", "thread") == "thread":
+            return bundle
+        exec_policy = replace(
+            bundle.context.exec,
+            options={**options, "trajectory_executor": "thread"},
+        )
+        return bundle.with_context(replace(bundle.context, exec=exec_policy))
+
+    def _note_pool_breakage(self, *, count: int = 1, recovered: bool = False) -> None:
+        """Count pool breakage toward the degradation ladder; flip if spent."""
+        with self._stats_lock:
+            if recovered:
+                self._stats["crashes_recovered"] += count
+            self._stats["pool_breakages"] += count
+            if self._stats["pool_breakages"] >= self._fallback_after:
+                self._stats["executor_fallback"] = 1
+
+    def _note_cancelled(self, ticket: JobTicket) -> None:
+        """Record a successful cancellation exactly once and settle the ticket."""
+        with self._wake:
+            if ticket._cancel_noted:
+                return
+            ticket._cancel_noted = True
+        with self._stats_lock:
+            self._stats["cancelled"] += 1
+        self._settle(ticket)
+
+    def _settle(self, ticket: JobTicket) -> None:
+        """A ticket reached a terminal state: stream it, release its slot."""
+        with self._wake:
+            self._live -= 1
+        self._events.put(ticket)
 
     # -- results ---------------------------------------------------------------------
     def as_completed(self, timeout: Optional[float] = None) -> Iterator[JobTicket]:
         """Yield tickets in completion order until every submission is seen.
 
-        Single-consumer: the stream cursor is service-global.  *timeout*
-        bounds the wait for **each** next completion; expiry raises
-        :class:`queue.Empty`.
+        Cancelled tickets appear in the stream like any other terminal
+        state.  Single-consumer: the stream cursor is service-global.
+        *timeout* bounds the wait for **each** next completion; expiry
+        raises :class:`TimeoutError` *without* losing the cursor position —
+        a later ``as_completed()`` call resumes exactly where the stream
+        stopped.
         """
         while True:
             with self._stats_lock:
                 remaining = self._stats["submitted"] - self._streamed
             if remaining == 0:
                 return
-            ticket = self._events.get(timeout=timeout)
+            try:
+                ticket = self._events.get(timeout=timeout)
+            except queue_module.Empty:
+                raise TimeoutError(
+                    f"no job completed within {timeout}s ({remaining} "
+                    "outstanding); the stream cursor is preserved — call "
+                    "as_completed() again to resume"
+                ) from None
             with self._stats_lock:
                 self._streamed += 1
             yield ticket
@@ -314,25 +683,65 @@ class JobService:
             raise ServiceError(f"no job named {name!r} has been submitted")
         return ticket
 
+    def cancel(self, name: str) -> bool:
+        """Cancel the not-yet-started job *name* (see :meth:`JobTicket.cancel`)."""
+        return self.ticket(name).cancel()
+
     def drain(self) -> List[JobTicket]:
-        """Block until every submitted job finished; tickets in job order."""
+        """Block until every submitted job settled; tickets in job order.
+
+        Cancelled tickets count as settled; ``drain`` never re-raises.
+        """
         with self._wake:
             tickets = list(self._all)
         for ticket in tickets:
-            ticket.exception()  # waits; does not re-raise
+            try:
+                ticket.exception()  # waits; does not re-raise failures
+            except CancelledError:
+                pass
         return tickets
 
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot: submitted/completed/failed/groups/coalesced."""
+        """Counter snapshot: throughput plus the fault-tolerance counters.
+
+        Keys: ``submitted`` / ``completed`` / ``failed`` / ``groups`` /
+        ``coalesced`` (as before) plus ``retries`` (transient re-executions),
+        ``crashes_recovered`` (in-run pool rebuilds that still produced the
+        job's result), ``deadline_kills``, ``cancelled``, ``rejected``
+        (queue-full admissions), ``pool_breakages`` (degradation-ladder
+        count) and ``executor_fallback`` (``1`` once the service forces the
+        thread executor).  :meth:`service_stats` returns the same snapshot
+        as a typed :class:`ServiceStats`.
+        """
         with self._stats_lock:
             return dict(self._stats)
 
+    def service_stats(self) -> ServiceStats:
+        """The :meth:`stats` snapshot as a typed :class:`ServiceStats`."""
+        snapshot = self.stats()
+        snapshot["executor_fallback"] = bool(snapshot["executor_fallback"])
+        return ServiceStats(**snapshot)
+
     # -- lifecycle -------------------------------------------------------------------
-    def close(self) -> None:
-        """Stop accepting work, run the queue dry, release the lanes."""
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting work and release the lanes.
+
+        ``drain=True`` (default) runs the queue dry first.  ``drain=False``
+        cancels every job that has not started — their tickets fail with
+        :class:`concurrent.futures.CancelledError` and still appear in the
+        :meth:`as_completed` stream — and waits only for attempts already
+        running on a lane, so callers blocked on outstanding tickets fail
+        fast instead of hanging.
+        """
         with self._wake:
             self._closed = True
+            self._drain_on_close = bool(drain)
             self._wake.notify_all()
+            tickets = list(self._all) if not drain else []
+        if not drain:
+            self._stop_event.set()  # cut retry backoffs short
+            for ticket in tickets:
+                ticket.cancel()
         self._dispatcher.join()
         self._lanes.shutdown(wait=True)
 

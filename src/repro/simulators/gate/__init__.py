@@ -24,6 +24,7 @@ from .fusion import (
     parametric_cache_info,
     set_compile_cache_size,
 )
+from .faults import FAULT_KINDS, FaultEvent, FaultPlan
 from .gates import GateDef, cached_gate_matrix, gate_matrix, get_gate, has_gate, list_gates
 from .noise import NoiseModel
 from .stabilizer import PRIMITIVE_GATES, StabilizerTableau, execute_stabilizer_program
@@ -67,6 +68,9 @@ __all__ = [
     "has_gate",
     "list_gates",
     "NoiseModel",
+    "FaultEvent",
+    "FaultPlan",
+    "FAULT_KINDS",
     "PRIMITIVE_GATES",
     "StabilizerTableau",
     "StabilizerProgram",

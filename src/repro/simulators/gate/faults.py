@@ -1,0 +1,247 @@
+"""Deterministic fault injection for the chunk executors.
+
+Recovery paths deserve the same differential-testing rigor as hot paths:
+the repo validates seeded counts bit-identically across engines, worker
+counts and executors, so the claim "a crashed worker is recovered with
+bit-identical counts" must itself be checkable from a seed.  This module is
+that seam — a :class:`FaultPlan` is pure data describing *which chunk task,
+on which execution attempt, fails how*:
+
+* ``"raise"`` — the task raises
+  :class:`~repro.core.errors.TransientExecutionError` (a retryable
+  application-level failure);
+* ``"hang"`` — the task stalls for a bounded ``hang_s`` before proceeding
+  normally (exercises deadlines without corrupting results);
+* ``"kill"`` — the task hard-exits its **worker process**
+  (``os._exit``), breaking the process pool (exercises
+  ``BrokenProcessPool`` recovery).  On the thread executor a kill is a
+  documented no-op: threads cannot be killed without taking the whole
+  interpreter down.
+
+Plans are installed through the ``fault_plan`` exec-policy knob (a
+JSON-safe dict, so it rides bundle contexts and digests unchanged) or
+passed directly to :class:`~repro.simulators.gate.statevector.StatevectorSimulator`.
+When no plan is set the hot paths pay exactly one ``is None`` check per
+chunk.  Faults key on ``(chunk_id, attempt)``: the executor's re-dispatch
+machinery increments *attempt*, so a fault fires once and the recovered
+re-execution runs clean — unless the plan deliberately schedules repeated
+faults to exercise recovery exhaustion.
+
+Seeded chaos plans (:meth:`FaultPlan.seeded`) draw the fault sites from a
+``default_rng(seed)``, making whole chaos sweeps reproducible from one
+integer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.errors import SimulationError, TransientExecutionError
+
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+
+#: The supported fault kinds, in documentation order.
+FAULT_KINDS = ("raise", "hang", "kill")
+
+#: Exit status used by ``"kill"`` faults; distinctive in worker post-mortems.
+KILL_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: *kind* strikes chunk *chunk_id* on *attempt*.
+
+    ``attempt`` counts executions of the chunk's task: the first dispatch is
+    attempt 0, the executor's crash-recovery re-dispatch is attempt 1, and
+    so on.  ``hang_s`` bounds a ``"hang"`` stall so injected hangs can never
+    wedge a suite — "hang" here means "slow enough to trip a deadline",
+    not "forever".
+    """
+
+    kind: str
+    chunk_id: int
+    attempt: int = 0
+    hang_s: float = 0.05
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise SimulationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.chunk_id < 0:
+            raise SimulationError("fault chunk_id must be >= 0")
+        if self.attempt < 0:
+            raise SimulationError("fault attempt must be >= 0")
+        if self.hang_s < 0:
+            raise SimulationError("fault hang_s must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (inverse of :meth:`FaultPlan.from_dict` rows)."""
+        return {
+            "kind": self.kind,
+            "chunk_id": self.chunk_id,
+            "attempt": self.attempt,
+            "hang_s": self.hang_s,
+        }
+
+
+class FaultPlan:
+    """An immutable schedule of :class:`FaultEvent`\\ s, keyed on (chunk, attempt).
+
+    Plans are plain picklable data: the process executor ships them inside
+    task payloads so the fault fires *inside* the worker, exactly where a
+    real failure would.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        index: Dict[Tuple[int, int], FaultEvent] = {}
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise SimulationError(
+                    f"FaultPlan events must be FaultEvent instances, got {event!r}"
+                )
+            key = (event.chunk_id, event.attempt)
+            if key in index:
+                raise SimulationError(
+                    f"duplicate fault for chunk {event.chunk_id} attempt {event.attempt}"
+                )
+            index[key] = event
+        self._events: Tuple[FaultEvent, ...] = tuple(events)
+        self._index = index
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        num_chunks: int,
+        kinds: Sequence[str] = ("kill",),
+        events: int = 1,
+        max_attempt: int = 0,
+        hang_s: float = 0.05,
+    ) -> "FaultPlan":
+        """Draw *events* distinct fault sites deterministically from *seed*.
+
+        Sites are ``(chunk_id, attempt)`` pairs over ``num_chunks`` chunks
+        and attempts ``0..max_attempt``; each site's kind is drawn uniformly
+        from *kinds*.  Identical arguments always produce an identical plan,
+        so a whole chaos sweep replays from its seed list.
+        """
+        if num_chunks < 1:
+            raise SimulationError("seeded fault plans need num_chunks >= 1")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise SimulationError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+        sites = [
+            (chunk, attempt)
+            for chunk in range(num_chunks)
+            for attempt in range(max_attempt + 1)
+        ]
+        rng = np.random.default_rng(seed)
+        count = min(int(events), len(sites))
+        chosen = rng.choice(len(sites), size=count, replace=False)
+        planned = [
+            FaultEvent(
+                kind=str(kinds[int(rng.integers(len(kinds)))]),
+                chunk_id=sites[int(site)][0],
+                attempt=sites[int(site)][1],
+                hang_s=hang_s,
+            )
+            for site in sorted(int(s) for s in chosen)
+        ]
+        return cls(planned)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from its JSON-safe dict form.
+
+        Two shapes are accepted: an explicit event list
+        (``{"events": [{"kind": ..., "chunk_id": ...}, ...]}``) or a seeded
+        spec (``{"seed": ..., "num_chunks": ..., ...}`` — the keyword
+        arguments of :meth:`seeded`, where ``events`` is a *count*).  The
+        presence of ``"seed"`` selects the seeded shape.
+        """
+        if "seed" in doc:
+            kwargs = {key: doc[key] for key in doc if key != "seed"}
+            return cls.seeded(int(doc["seed"]), **kwargs)
+        if "events" in doc:
+            rows = doc["events"]
+            return cls(
+                [
+                    FaultEvent(
+                        kind=str(row["kind"]),
+                        chunk_id=int(row["chunk_id"]),
+                        attempt=int(row.get("attempt", 0)),
+                        hang_s=float(row.get("hang_s", 0.05)),
+                    )
+                    for row in rows
+                ]
+            )
+        raise SimulationError(
+            "fault plan dict needs an 'events' list or a seeded spec with 'seed'"
+        )
+
+    @classmethod
+    def coerce(cls, value: Any) -> Optional["FaultPlan"]:
+        """Normalise a knob value: ``None`` | :class:`FaultPlan` | dict spec."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise SimulationError(
+            f"fault_plan must be a FaultPlan, a dict spec, or None, got {value!r}"
+        )
+
+    # -- introspection ----------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """The scheduled events, in construction order."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self._events == other._events
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self._events)!r})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form, round-trippable through :meth:`from_dict`."""
+        return {"events": [event.to_dict() for event in self._events]}
+
+    def event_for(self, chunk_id: int, attempt: int) -> Optional[FaultEvent]:
+        """The event scheduled for ``(chunk_id, attempt)``, or ``None``."""
+        return self._index.get((int(chunk_id), int(attempt)))
+
+    # -- firing -------------------------------------------------------------------
+    def fire(self, chunk_id: int, attempt: int, *, executor: str = "process") -> None:
+        """Execute the fault scheduled for ``(chunk_id, attempt)``, if any.
+
+        Called by the chunk executors immediately before running a chunk.
+        ``"raise"`` raises :class:`TransientExecutionError`; ``"hang"``
+        sleeps ``hang_s`` then returns (the chunk still runs, so results
+        stay bit-identical); ``"kill"`` hard-exits the current process on
+        the ``"process"`` executor and is a no-op on ``"thread"``.
+        """
+        event = self.event_for(chunk_id, attempt)
+        if event is None:
+            return
+        if event.kind == "raise":
+            raise TransientExecutionError(
+                f"injected fault: chunk {chunk_id} attempt {attempt}"
+            )
+        if event.kind == "hang":
+            time.sleep(event.hang_s)
+            return
+        if executor == "process":  # "kill": threads cannot be killed
+            os._exit(KILL_EXIT_CODE)

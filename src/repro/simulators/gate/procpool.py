@@ -15,13 +15,39 @@ process-level parallelism.  This module owns that seam:
   as on the thread path, then the chunks are dealt round-robin into at most
   ``workers`` groups.  Chunk ``i`` always consumes stream ``i`` and results
   reassemble in chunk order, so seeded counts are **bit-identical** to the
-  thread executor (and to serial execution) at every worker count.
+  thread executor (and to serial execution) at every worker count;
+* **worker-crash recovery**: a dead worker breaks the whole
+  ``ProcessPoolExecutor`` (every unfinished future raises
+  ``BrokenProcessPool``), so the executors collect what completed, retire
+  the broken pool, build a fresh one, and re-dispatch **only the lost chunk
+  groups** — each group still carrying its original ``(chunk_id, size,
+  stream)`` triples, so the recovered run re-draws from the same
+  ``SeedSequence`` streams and seeded counts stay bit-identical to an
+  uncrashed run.  Recovery is budgeted per run
+  (:data:`MAX_POOL_REBUILDS`); exhaustion raises the transient
+  :class:`~repro.core.errors.WorkerCrashError` for the serving layer's
+  retry/degradation ladder.  Reassembly is validated: a chunk slot that was
+  never filled raises the typed
+  :class:`~repro.core.errors.ChunkReassemblyError` instead of passing
+  ``None`` rows downstream.
 
-The pool is grow-only: a request for fewer workers reuses the existing
-(larger) pool — effective parallelism is bounded by the group count, and
-shrinking would throw away the workers' warm caches.  ``fork`` is
-deliberately not used even where available: the workers must not inherit the
-parent's BLAS thread pools or lock state mid-operation.
+The pool is generation-tagged and **leased**: callers acquire the current
+generation, submit and collect against their leased executor, and release
+it afterwards.  Growth (a request for more workers) starts a new generation
+immediately but only shuts the old one down once its last lease is
+released, so a concurrent in-flight run can never be stranded mid-collect.
+A request for fewer workers reuses the existing (larger) generation —
+effective parallelism is bounded by the group count, and shrinking would
+throw away the workers' warm caches.  ``fork`` is deliberately not used
+even where available: the workers must not inherit the parent's BLAS
+thread pools or lock state mid-operation.
+
+Deterministic fault injection (:mod:`~repro.simulators.gate.faults`) rides
+the task payloads: a :class:`~repro.simulators.gate.faults.FaultPlan` fires
+inside the worker immediately before a chunk executes, keyed on
+``(chunk_id, attempt)`` — re-dispatched groups carry ``attempt + 1`` so an
+injected crash fires once and the recovery runs clean.  Without a plan the
+hot path pays one ``is None`` check per chunk.
 """
 
 from __future__ import annotations
@@ -29,23 +55,47 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import threading
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from contextlib import nullcontext
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...core.errors import ChunkReassemblyError, WorkerCrashError
+
 __all__ = [
+    "MAX_POOL_REBUILDS",
     "get_worker_pool",
     "shutdown_worker_pool",
     "worker_pool_info",
+    "executor_health",
     "run_trajectory_chunks",
     "run_stabilizer_chunks",
 ]
 
-_POOL: Optional[ProcessPoolExecutor] = None
-_POOL_WORKERS = 0
+#: Pool rebuilds allowed within one ``run_*_chunks`` call before giving up
+#: with :class:`WorkerCrashError`.  Two rebuilds tolerate an injected crash
+#: plus one genuine flake without letting a deterministically crashing
+#: workload spin forever.
+MAX_POOL_REBUILDS = 2
+
+
+class _PoolGeneration:
+    """One generation of the worker pool: executor + lease bookkeeping."""
+
+    def __init__(self, executor: ProcessPoolExecutor, workers: int, generation: int):
+        self.executor = executor
+        self.workers = workers
+        self.generation = generation
+        self.leases = 0
+        self.retired = False
+
+
+_CURRENT: Optional[_PoolGeneration] = None
+_RETIRED: List[_PoolGeneration] = []
+_GENERATION = 0
 _POOL_LOCK = threading.Lock()
+_HEALTH = {"pool_rebuilds": 0, "groups_redispatched": 0, "generations_retired": 0}
 
 
 def _start_method() -> str:
@@ -57,40 +107,136 @@ def _start_method() -> str:
     )
 
 
-def get_worker_pool(workers: int) -> ProcessPoolExecutor:
-    """Return the persistent pool, growing it if *workers* exceeds its size."""
-    global _POOL, _POOL_WORKERS
+def _new_generation(workers: int) -> _PoolGeneration:
+    """Create a fresh pool generation (caller holds ``_POOL_LOCK``)."""
+    global _GENERATION
+    context = mp.get_context(_start_method())
+    if hasattr(context, "set_forkserver_preload"):
+        # Fork workers from a server that already imported this package (and
+        # with it NumPy): per-worker startup drops from a full interpreter +
+        # import chain to a fork.
+        context.set_forkserver_preload(["repro.simulators.gate.procpool"])
+    _GENERATION += 1
+    return _PoolGeneration(
+        ProcessPoolExecutor(max_workers=workers, mp_context=context),
+        workers,
+        _GENERATION,
+    )
+
+
+def _retire_locked(generation: _PoolGeneration) -> Optional[ProcessPoolExecutor]:
+    """Mark *generation* retired; return its executor if it can shut down now."""
+    generation.retired = True
+    _HEALTH["generations_retired"] += 1
+    if generation.leases == 0:
+        return generation.executor
+    _RETIRED.append(generation)
+    return None
+
+
+def _acquire_pool(workers: int) -> _PoolGeneration:
+    """Lease the current pool generation, growing it if *workers* exceeds it.
+
+    The returned generation's executor stays valid — even across a
+    concurrent grow or crash-triggered replacement — until the matching
+    :func:`_release_pool`.
+    """
+    global _CURRENT
     if workers < 1:
         raise ValueError(f"worker pool size must be >= 1, got {workers!r}")
+    to_shutdown: Optional[ProcessPoolExecutor] = None
     with _POOL_LOCK:
-        if _POOL is None or workers > _POOL_WORKERS:
-            if _POOL is not None:
-                _POOL.shutdown(wait=True)
-            context = mp.get_context(_start_method())
-            if hasattr(context, "set_forkserver_preload"):
-                # Fork workers from a server that already imported this
-                # package (and with it NumPy): per-worker startup drops from
-                # a full interpreter + import chain to a fork.
-                context.set_forkserver_preload(["repro.simulators.gate.procpool"])
-            _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-            _POOL_WORKERS = workers
-        return _POOL
+        if _CURRENT is None or workers > _CURRENT.workers:
+            if _CURRENT is not None:
+                to_shutdown = _retire_locked(_CURRENT)
+            _CURRENT = _new_generation(workers)
+        _CURRENT.leases += 1
+        handle = _CURRENT
+    if to_shutdown is not None:
+        to_shutdown.shutdown(wait=True)
+    return handle
+
+
+def _release_pool(handle: _PoolGeneration) -> None:
+    """Release one lease; shut a retired generation down once it drains."""
+    to_shutdown: Optional[ProcessPoolExecutor] = None
+    with _POOL_LOCK:
+        handle.leases -= 1
+        if handle.retired and handle.leases == 0:
+            if handle in _RETIRED:
+                _RETIRED.remove(handle)
+            to_shutdown = handle.executor
+    if to_shutdown is not None:
+        to_shutdown.shutdown(wait=True)
+
+
+def _replace_broken(handle: _PoolGeneration) -> None:
+    """Retire a broken generation so the next acquire builds a fresh pool.
+
+    Idempotent across the threads that may observe the same breakage: only
+    the first caller retires the generation and bumps the rebuild counter.
+    """
+    global _CURRENT
+    with _POOL_LOCK:
+        if handle.retired:
+            return
+        _HEALTH["pool_rebuilds"] += 1
+        # A broken executor cannot run queued futures, so it is safe to shut
+        # down immediately regardless of leases: shutdown on a broken pool
+        # only reaps dead processes.
+        handle.retired = True
+        _HEALTH["generations_retired"] += 1
+        if _CURRENT is handle:
+            _CURRENT = None
+    handle.executor.shutdown(wait=True)
+
+
+def get_worker_pool(workers: int) -> ProcessPoolExecutor:
+    """Return the current persistent pool, growing it if *workers* exceeds it.
+
+    Introspective/legacy accessor: no lease is taken, so the returned
+    executor may be retired by a later grow.  The chunk executors use the
+    leased :func:`_acquire_pool` / :func:`_release_pool` pair instead, which
+    guarantees the executor outlives the caller's in-flight futures.
+    """
+    handle = _acquire_pool(workers)
+    _release_pool(handle)
+    return handle.executor
 
 
 def shutdown_worker_pool() -> None:
-    """Tear the pool down (test isolation / interpreter exit)."""
-    global _POOL, _POOL_WORKERS
+    """Tear every generation down (test isolation / interpreter exit)."""
+    global _CURRENT
     with _POOL_LOCK:
-        if _POOL is not None:
-            _POOL.shutdown(wait=True)
-        _POOL = None
-        _POOL_WORKERS = 0
+        doomed = [gen.executor for gen in _RETIRED]
+        if _CURRENT is not None:
+            doomed.append(_CURRENT.executor)
+        _RETIRED.clear()
+        _CURRENT = None
+    for executor in doomed:
+        executor.shutdown(wait=True)
 
 
 def worker_pool_info() -> Dict[str, int]:
     """Snapshot of the pool state: ``workers`` and ``started``."""
     with _POOL_LOCK:
-        return {"workers": _POOL_WORKERS, "started": int(_POOL is not None)}
+        return {
+            "workers": 0 if _CURRENT is None else _CURRENT.workers,
+            "started": int(_CURRENT is not None),
+        }
+
+
+def executor_health() -> Dict[str, int]:
+    """Process-lifetime recovery counters.
+
+    ``pool_rebuilds`` (broken pools replaced), ``groups_redispatched``
+    (chunk groups re-executed after a crash), ``generations_retired``
+    (grow-driven and crash-driven retirements).  Monotonic; serving-level
+    per-job accounting uses the per-run recovery dicts returned by the
+    ``run_*_chunks`` executors instead.
+    """
+    with _POOL_LOCK:
+        return dict(_HEALTH)
 
 
 atexit.register(shutdown_worker_pool)
@@ -111,6 +257,66 @@ def _deal_chunks(
     return [group for group in groups if group]
 
 
+def _require_complete(rows: Sequence[Optional[np.ndarray]]) -> None:
+    """Typed guard: every chunk slot must have been filled by some group."""
+    missing = [chunk_id for chunk_id, bits in enumerate(rows) if bits is None]
+    if missing:
+        raise ChunkReassemblyError(missing, len(rows))
+
+
+def _run_groups_with_recovery(pending, submit_group, workers: int):
+    """Shared crash-recovery driver for both chunk executors.
+
+    *pending* is a list of ``(group, attempt)`` pairs; *submit_group* maps
+    a leased executor plus one pair to a future.  Runs every group to
+    completion, rebuilding the pool and re-dispatching only the lost groups
+    (``attempt + 1``) on breakage, up to :data:`MAX_POOL_REBUILDS` rebuilds
+    per run.  Returns ``(results, recovery)``: the completed groups' return
+    values (order unspecified — callers reassemble by chunk id) and the
+    per-run recovery counters.
+    """
+    recovery = {"pool_rebuilds": 0, "groups_redispatched": 0}
+    results = []
+    while pending:
+        handle = _acquire_pool(workers)
+        broken = False
+        lost: List[Tuple[Any, int]] = []
+        try:
+            submitted: List[Tuple[Any, Any, int]] = []
+            for group, attempt in pending:
+                try:
+                    future = submit_group(handle.executor, group, attempt)
+                except BrokenExecutor:
+                    broken = True
+                    lost.append((group, attempt + 1))
+                    continue
+                submitted.append((future, group, attempt))
+            for future, group, attempt in submitted:
+                try:
+                    results.append(future.result())
+                except BrokenExecutor:
+                    broken = True
+                    lost.append((group, attempt + 1))
+        finally:
+            if broken:
+                _replace_broken(handle)
+            _release_pool(handle)
+        if broken:
+            recovery["pool_rebuilds"] += 1
+            recovery["groups_redispatched"] += len(lost)
+            with _POOL_LOCK:
+                _HEALTH["groups_redispatched"] += len(lost)
+            if recovery["pool_rebuilds"] > MAX_POOL_REBUILDS:
+                raise WorkerCrashError(
+                    f"worker pool broke {recovery['pool_rebuilds']} times in one "
+                    f"run (budget {MAX_POOL_REBUILDS} rebuilds); "
+                    f"{len(lost)} chunk groups unrecovered",
+                    rebuilds=recovery["pool_rebuilds"],
+                )
+        pending = lost
+    return results, recovery
+
+
 def _trajectory_task(payload: tuple):
     """Worker-side entry: bind (or adopt) the program, run a chunk group.
 
@@ -127,6 +333,8 @@ def _trajectory_task(payload: tuple):
         blas_threads,
         chunks,
         state_chunk,
+        fault_plan,
+        attempt,
     ) = payload
     from .fusion import adopt_parametric_template, compile_trajectory_program_cached
     from .statevector import execute_program_chunk
@@ -150,6 +358,8 @@ def _trajectory_task(payload: tuple):
     state_index: Optional[int] = None
     with guard:
         for chunk_id, size, stream in chunks:
+            if fault_plan is not None:
+                fault_plan.fire(chunk_id, attempt, executor="process")
             bits, state, last_index = execute_program_chunk(
                 program,
                 size,
@@ -176,20 +386,22 @@ def run_trajectory_chunks(
     dtype,
     gemm_threshold,
     blas_threads: Optional[int] = None,
-) -> Tuple[List[np.ndarray], np.ndarray, Optional[int]]:
+    fault_plan=None,
+) -> Tuple[List[np.ndarray], np.ndarray, Optional[int], Dict[str, int]]:
     """Execute a batched-engine chunk decomposition on the process pool.
 
-    Returns ``(bits_rows, final_state_data, last_index)``: the per-chunk bit
-    rows in chunk order, plus the last chunk's final single-trajectory state
-    amplitudes and its sampled terminal index (for the parent's terminal
-    collapse).
+    Returns ``(bits_rows, final_state_data, last_index, recovery)``: the
+    per-chunk bit rows in chunk order, the last chunk's final
+    single-trajectory state amplitudes and its sampled terminal index (for
+    the parent's terminal collapse), plus the run's crash-recovery counters
+    (``pool_rebuilds`` / ``groups_redispatched``, both 0 on a clean run).
     """
     workers = max(1, min(int(workers), len(sizes)))
-    pool = get_worker_pool(workers)
     state_chunk = len(sizes) - 1
     dtype_str = str(np.dtype(dtype))
-    futures = [
-        pool.submit(
+
+    def submit_group(executor, group, attempt):
+        return executor.submit(
             _trajectory_task,
             (
                 circuit,
@@ -200,37 +412,44 @@ def run_trajectory_chunks(
                 blas_threads,
                 group,
                 state_chunk,
+                fault_plan,
+                attempt,
             ),
         )
-        for group in _deal_chunks(sizes, streams, workers)
-    ]
+
+    pending = [(group, 0) for group in _deal_chunks(sizes, streams, workers)]
+    results, recovery = _run_groups_with_recovery(pending, submit_group, workers)
     bits_rows: List[Optional[np.ndarray]] = [None] * len(sizes)
     state_data: Optional[np.ndarray] = None
     last_index: Optional[int] = None
-    for future in futures:
-        rows, data, index = future.result()
+    for rows, data, index in results:
         for chunk_id, bits in rows:
             bits_rows[chunk_id] = bits
         if data is not None:
             state_data = data
             last_index = index
-    return bits_rows, state_data, last_index
+    _require_complete(bits_rows)
+    return bits_rows, state_data, last_index, recovery
 
 
 def _stabilizer_task(payload: tuple) -> List[Tuple[int, np.ndarray]]:
     """Worker-side entry for tableau chunks (program ships pre-compiled)."""
-    program, noise_model, chunks = payload
+    program, noise_model, chunks, fault_plan, attempt = payload
     from .stabilizer import execute_stabilizer_program
 
-    return [
-        (
-            chunk_id,
-            execute_stabilizer_program(
-                program, size, np.random.default_rng(stream), noise_model
-            ),
+    rows: List[Tuple[int, np.ndarray]] = []
+    for chunk_id, size, stream in chunks:
+        if fault_plan is not None:
+            fault_plan.fire(chunk_id, attempt, executor="process")
+        rows.append(
+            (
+                chunk_id,
+                execute_stabilizer_program(
+                    program, size, np.random.default_rng(stream), noise_model
+                ),
+            )
         )
-        for chunk_id, size, stream in chunks
-    ]
+    return rows
 
 
 def run_stabilizer_chunks(
@@ -240,22 +459,28 @@ def run_stabilizer_chunks(
     streams: Sequence[Any],
     *,
     workers: int,
-) -> List[np.ndarray]:
+    fault_plan=None,
+) -> Tuple[List[np.ndarray], Dict[str, int]]:
     """Execute a stabilizer-engine chunk decomposition on the process pool.
 
-    Returns the per-chunk outcome-bit matrices in chunk order.  The compiled
+    Returns the per-chunk outcome-bit matrices in chunk order plus the
+    run's crash-recovery counters.  The compiled
     :class:`~repro.simulators.gate.fusion.StabilizerProgram` is parameter-free
     and cheap to pickle, so it ships directly instead of recompiling in the
     worker.
     """
     workers = max(1, min(int(workers), len(sizes)))
-    pool = get_worker_pool(workers)
-    futures = [
-        pool.submit(_stabilizer_task, (program, noise_model, group))
-        for group in _deal_chunks(sizes, streams, workers)
-    ]
+
+    def submit_group(executor, group, attempt):
+        return executor.submit(
+            _stabilizer_task, (program, noise_model, group, fault_plan, attempt)
+        )
+
+    pending = [(group, 0) for group in _deal_chunks(sizes, streams, workers)]
+    results, recovery = _run_groups_with_recovery(pending, submit_group, workers)
     rows: List[Optional[np.ndarray]] = [None] * len(sizes)
-    for future in futures:
-        for chunk_id, bits in future.result():
+    for group_rows in results:
+        for chunk_id, bits in group_rows:
             rows[chunk_id] = bits
-    return rows
+    _require_complete(rows)
+    return rows, recovery

@@ -473,6 +473,20 @@ class StatevectorSimulator:
         the ``i``-th ``SeedSequence``-spawned stream — so seeded counts are
         **bit-identical** across both executors and every worker count.
         The reference, density and exact paths ignore this option.
+    fault_plan:
+        Deterministic fault-injection schedule
+        (:class:`~repro.simulators.gate.faults.FaultPlan`, a JSON-safe dict
+        spec, or ``None``; default ``None``).  Faults fire immediately
+        before a chunk task executes, keyed on ``(chunk_id, attempt)``:
+        ``"raise"`` raises the transient
+        :class:`~repro.core.errors.TransientExecutionError`, ``"hang"``
+        stalls the task for a bounded interval, ``"kill"`` hard-exits the
+        worker process under ``trajectory_executor="process"`` (a
+        documented no-op on the thread executor).  Killed workers are
+        recovered in-run: the pool is rebuilt and only the lost chunk
+        groups re-dispatch with their original ``SeedSequence`` streams,
+        so recovered seeded counts are **bit-identical** to an uncrashed
+        run.  ``None`` (production) costs one attribute check per run.
     verify_compiled:
         ``bool`` (default ``False``).  When enabled, every run verifies its
         compiled artifacts through the static IR verifier
@@ -498,6 +512,7 @@ class StatevectorSimulator:
         pin_blas_threads: bool = True,
         noise_gemm_threshold: Union[float, int, None] = DEFAULT_NOISE_GEMM_THRESHOLD,
         compile_cache_size: Optional[int] = None,
+        fault_plan=None,
         verify_compiled: bool = False,
     ):
         if trajectory_engine not in (
@@ -569,6 +584,9 @@ class StatevectorSimulator:
             if compile_cache_size < 1:
                 raise SimulationError("compile_cache_size must be >= 1 (or None)")
             set_compile_cache_size(compile_cache_size)
+        from .faults import FaultPlan  # local: keeps the import graph flat
+
+        fault_plan = FaultPlan.coerce(fault_plan)
         self.noise_model = noise_model
         self.max_batch_memory = max_batch_memory
         self.trajectory_engine = trajectory_engine
@@ -579,6 +597,7 @@ class StatevectorSimulator:
         self.pin_blas_threads = pin_blas_threads
         self.noise_gemm_threshold = noise_gemm_threshold
         self.compile_cache_size = compile_cache_size
+        self.fault_plan = fault_plan
         self.verify_compiled = verify_compiled
 
     def run(
@@ -758,6 +777,8 @@ class StatevectorSimulator:
         streams = np.random.SeedSequence(seed).spawn(len(sizes))
 
         def run_chunk(chunk: int) -> np.ndarray:
+            if self.fault_plan is not None:
+                self.fault_plan.fire(chunk, 0, executor="thread")
             return execute_stabilizer_program(
                 program, sizes[chunk], np.random.default_rng(streams[chunk]), noise
             )
@@ -766,9 +787,11 @@ class StatevectorSimulator:
         if self.trajectory_executor == "process":
             from .procpool import run_stabilizer_chunks
 
-            results = run_stabilizer_chunks(
-                program, noise, sizes, streams, workers=workers
+            results, recovery = run_stabilizer_chunks(
+                program, noise, sizes, streams, workers=workers,
+                fault_plan=self.fault_plan,
             )
+            metadata["executor_recovery"] = recovery
         elif workers <= 1:
             results = [run_chunk(chunk) for chunk in range(len(sizes))]
         else:
@@ -914,6 +937,8 @@ class StatevectorSimulator:
             """One chunk's bit rows; the chunk state is kept only for the last
             chunk (the result-statevector contract) so peak memory stays at
             ~``workers x max_batch_memory`` instead of one state per chunk."""
+            if self.fault_plan is not None:
+                self.fault_plan.fire(chunk, 0, executor="thread")
             bits, state, last_index = self._run_batch(
                 program, sizes[chunk], np.random.default_rng(streams[chunk])
             )
@@ -934,7 +959,7 @@ class StatevectorSimulator:
                 if self.pin_blas_threads and workers > 1
                 else None
             )
-            bits_rows, state_data, last_index = run_trajectory_chunks(
+            bits_rows, state_data, last_index, recovery = run_trajectory_chunks(
                 circuit,
                 compile_parametric_template_cached(circuit),
                 self.noise_model,
@@ -944,7 +969,9 @@ class StatevectorSimulator:
                 dtype=self.trajectory_dtype,
                 gemm_threshold=self.noise_gemm_threshold,
                 blas_threads=blas_threads,
+                fault_plan=self.fault_plan,
             )
+            extra["executor_recovery"] = recovery
             counts = Counts.from_array(np.concatenate(bits_rows, axis=0))
             final_state = Statevector(circuit.num_qubits, data=state_data)
         else:

@@ -1,0 +1,354 @@
+"""Tests for deterministic fault injection and executor crash recovery.
+
+The headline contract: a run whose worker is **killed mid-flight** recovers
+by re-dispatching only the lost chunk groups on a fresh pool — with the
+original per-chunk ``SeedSequence`` streams — so recovered seeded counts are
+*bit-identical* to an uncrashed run, for both the batched and stabilizer
+engines and at every worker count.  Around it: the :class:`FaultPlan` data
+model (seeded determinism, dict round-trip), the transient/permanent error
+taxonomy, reassembly validation, the recovery budget, and the
+generation/lease pool that lets growth coexist with in-flight runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.core.errors import (
+    ChunkReassemblyError,
+    DeadlineExceededError,
+    QueueFullError,
+    TransientExecutionError,
+    WorkerCrashError,
+    is_pool_breakage,
+    is_transient_error,
+)
+from repro.simulators.gate import Circuit, NoiseModel, StatevectorSimulator
+from repro.simulators.gate.faults import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    """Tear the persistent worker pool down after this module's tests."""
+    from repro.simulators.gate.procpool import shutdown_worker_pool
+
+    yield
+    shutdown_worker_pool()
+
+
+def noisy_circuit():
+    circuit = Circuit(3, 3)
+    circuit.h(0).cx(0, 1).cx(1, 2)
+    circuit.measure_all()
+    return circuit, NoiseModel(oneq_error=0.02, twoq_error=0.05, readout_error=0.02)
+
+
+def ghz_stabilizer_kwargs(workers):
+    circuit = Circuit(4, 4)
+    circuit.h(0).cx(0, 1).cx(1, 2).cx(2, 3)
+    circuit.measure_all()
+    noise = NoiseModel(oneq_error=0.01, twoq_error=0.02, readout_error=0.01)
+    kwargs = dict(
+        noise_model=noise,
+        trajectory_engine="stabilizer",
+        max_batch_memory=64,
+        trajectory_workers=workers,
+    )
+    return circuit, kwargs
+
+
+# -- FaultPlan data model -----------------------------------------------------------
+
+def test_fault_event_validation():
+    with pytest.raises(SimulationError, match="unknown fault kind"):
+        FaultEvent(kind="explode", chunk_id=0)
+    with pytest.raises(SimulationError, match="chunk_id"):
+        FaultEvent(kind="raise", chunk_id=-1)
+    with pytest.raises(SimulationError, match="attempt"):
+        FaultEvent(kind="raise", chunk_id=0, attempt=-1)
+    with pytest.raises(SimulationError, match="hang_s"):
+        FaultEvent(kind="hang", chunk_id=0, hang_s=-0.1)
+    assert FaultEvent(kind="kill", chunk_id=2, attempt=1).to_dict() == {
+        "kind": "kill",
+        "chunk_id": 2,
+        "attempt": 1,
+        "hang_s": 0.05,
+    }
+
+
+def test_fault_plan_rejects_duplicate_sites():
+    events = [FaultEvent("raise", 0), FaultEvent("kill", 0)]
+    with pytest.raises(SimulationError, match="duplicate fault"):
+        FaultPlan(events)
+
+
+def test_fault_plan_lookup_and_roundtrip():
+    plan = FaultPlan([FaultEvent("raise", 1), FaultEvent("kill", 3, attempt=1)])
+    assert len(plan) == 2
+    assert plan.event_for(1, 0).kind == "raise"
+    assert plan.event_for(3, 1).kind == "kill"
+    assert plan.event_for(3, 0) is None
+    assert plan.event_for(7, 0) is None
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert FaultPlan.coerce(plan) is plan
+    assert FaultPlan.coerce(None) is None
+    assert FaultPlan.coerce(plan.to_dict()) == plan
+    with pytest.raises(SimulationError, match="fault_plan must be"):
+        FaultPlan.coerce("kill everything")
+    with pytest.raises(SimulationError, match="'events' list or a seeded spec"):
+        FaultPlan.from_dict({"kaboom": 1})
+
+
+def test_seeded_plans_are_deterministic():
+    kwargs = dict(num_chunks=16, kinds=FAULT_KINDS, events=4, max_attempt=1)
+    plan_a = FaultPlan.seeded(42, **kwargs)
+    plan_b = FaultPlan.seeded(42, **kwargs)
+    assert plan_a == plan_b
+    assert len(plan_a) == 4
+    assert plan_a != FaultPlan.seeded(43, **kwargs)
+    # Sites are distinct and within range, by construction.
+    sites = {(e.chunk_id, e.attempt) for e in plan_a.events}
+    assert len(sites) == 4
+    assert all(0 <= c < 16 and 0 <= a <= 1 for c, a in sites)
+    # The seeded spec round-trips through the dict form too.
+    from_spec = FaultPlan.from_dict({"seed": 42, **kwargs})
+    assert from_spec == plan_a
+    with pytest.raises(SimulationError, match="num_chunks"):
+        FaultPlan.seeded(1, num_chunks=0)
+    with pytest.raises(SimulationError, match="unknown fault kind"):
+        FaultPlan.seeded(1, num_chunks=4, kinds=("melt",))
+
+
+# -- error taxonomy -----------------------------------------------------------------
+
+def test_transient_and_breakage_classification():
+    from concurrent.futures import BrokenExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    assert is_transient_error(TransientExecutionError("x"))
+    assert is_transient_error(WorkerCrashError("x", rebuilds=2))
+    assert is_transient_error(BrokenExecutor())
+    assert is_transient_error(BrokenProcessPool())
+    assert not is_transient_error(RuntimeError("x"))
+    assert not is_transient_error(DeadlineExceededError("x"))
+    assert is_pool_breakage(WorkerCrashError("x"))
+    assert is_pool_breakage(BrokenProcessPool())
+    assert not is_pool_breakage(TransientExecutionError("x"))
+    assert not is_pool_breakage(QueueFullError("x"))
+    assert WorkerCrashError("x", rebuilds=3).rebuilds == 3
+
+
+def test_chunk_reassembly_error_is_typed():
+    from repro.simulators.gate.procpool import _require_complete
+
+    rows = [np.zeros((1, 1)), None, np.zeros((1, 1)), None]
+    with pytest.raises(ChunkReassemblyError) as excinfo:
+        _require_complete(rows)
+    assert excinfo.value.missing == (1, 3)
+    assert excinfo.value.total == 4
+    _require_complete([np.zeros((1, 1))])  # complete rows pass silently
+
+
+# -- crash recovery: bit-identity ---------------------------------------------------
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_killed_worker_recovers_bit_identical_batched(workers, process_pool):
+    circuit, noise = noisy_circuit()
+    kwargs = dict(
+        noise_model=noise, max_batch_memory=128 * 32, trajectory_workers=workers
+    )
+    clean = StatevectorSimulator(trajectory_executor="process", **kwargs).run(
+        circuit, shots=900, seed=71
+    )
+    assert clean.metadata["executor_recovery"] == {
+        "pool_rebuilds": 0,
+        "groups_redispatched": 0,
+    }
+    crashed = StatevectorSimulator(
+        trajectory_executor="process",
+        fault_plan=FaultPlan([FaultEvent("kill", chunk_id=0)]),
+        **kwargs,
+    ).run(circuit, shots=900, seed=71)
+    recovery = crashed.metadata["executor_recovery"]
+    assert recovery["pool_rebuilds"] == 1
+    assert recovery["groups_redispatched"] >= 1
+    # The recovered run re-drew from the original SeedSequence streams.
+    assert dict(crashed.counts) == dict(clean.counts)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_killed_worker_recovers_bit_identical_stabilizer(workers, process_pool):
+    circuit, kwargs = ghz_stabilizer_kwargs(workers)
+    clean = StatevectorSimulator(trajectory_executor="process", **kwargs).run(
+        circuit, shots=1500, seed=13
+    )
+    crashed = StatevectorSimulator(
+        trajectory_executor="process",
+        fault_plan=FaultPlan([FaultEvent("kill", chunk_id=1)]),
+        **kwargs,
+    ).run(circuit, shots=1500, seed=13)
+    assert crashed.metadata["trajectory_engine"] == "stabilizer"
+    assert crashed.metadata["executor_recovery"]["pool_rebuilds"] == 1
+    assert dict(crashed.counts) == dict(clean.counts)
+
+
+def test_raise_fault_propagates_as_transient(process_pool):
+    circuit, noise = noisy_circuit()
+    simulator = StatevectorSimulator(
+        trajectory_executor="process",
+        noise_model=noise,
+        max_batch_memory=128 * 32,
+        trajectory_workers=2,
+        fault_plan=FaultPlan([FaultEvent("raise", chunk_id=0)]),
+    )
+    with pytest.raises(TransientExecutionError, match="injected fault"):
+        simulator.run(circuit, shots=900, seed=71)
+
+
+def test_hang_fault_is_benign_and_kill_is_noop_on_threads():
+    circuit, noise = noisy_circuit()
+    kwargs = dict(
+        noise_model=noise, max_batch_memory=128 * 32, trajectory_workers=2
+    )
+    clean = StatevectorSimulator(**kwargs).run(circuit, shots=300, seed=9)
+    # A hang stalls the chunk then runs it normally; a kill on the thread
+    # executor is a documented no-op.  Either way: bit-identical counts.
+    plan = FaultPlan(
+        [FaultEvent("hang", chunk_id=0, hang_s=0.01), FaultEvent("kill", chunk_id=1)]
+    )
+    faulted = StatevectorSimulator(fault_plan=plan, **kwargs).run(
+        circuit, shots=300, seed=9
+    )
+    assert dict(faulted.counts) == dict(clean.counts)
+
+
+def test_repeated_kills_exhaust_recovery_budget(process_pool):
+    from repro.simulators.gate.procpool import MAX_POOL_REBUILDS
+
+    circuit, noise = noisy_circuit()
+    # Kill chunk 0 on every attempt the budget allows, plus one more.
+    plan = FaultPlan(
+        [
+            FaultEvent("kill", chunk_id=0, attempt=a)
+            for a in range(MAX_POOL_REBUILDS + 1)
+        ]
+    )
+    simulator = StatevectorSimulator(
+        trajectory_executor="process",
+        noise_model=noise,
+        max_batch_memory=128 * 32,
+        trajectory_workers=2,
+        fault_plan=plan,
+    )
+    with pytest.raises(WorkerCrashError) as excinfo:
+        simulator.run(circuit, shots=900, seed=71)
+    assert excinfo.value.rebuilds == MAX_POOL_REBUILDS + 1
+    assert is_transient_error(excinfo.value)  # the serving layer may retry
+
+
+def test_fault_plan_knob_rides_the_backend(process_pool):
+    from repro.backends import GateBackend
+    from repro.problems import MaxCutProblem
+    from repro.workflows import build_qaoa_bundle
+
+    bundle = build_qaoa_bundle(MaxCutProblem.cycle(4))
+    options = bundle.context.exec.options
+    options["noise"] = {"oneq_error": 1e-3}
+    options["max_batch_memory"] = 4096
+    options["trajectory_executor"] = "process"
+    clean = GateBackend().run(bundle)
+    # The knob takes the JSON-safe dict spec, so it rides bundles/digests.
+    options["fault_plan"] = {"events": [{"kind": "kill", "chunk_id": 0}]}
+    crashed = GateBackend().run(bundle)
+    assert crashed.metadata["executor_recovery"]["pool_rebuilds"] == 1
+    assert dict(crashed.counts) == dict(clean.counts)
+
+    options["fault_plan"] = "not a plan"
+    from repro.core import BackendError
+
+    with pytest.raises(BackendError, match="fault_plan must be"):
+        GateBackend().run(bundle)
+
+
+def test_executor_health_counters_accumulate(process_pool):
+    from repro.simulators.gate.procpool import executor_health
+
+    circuit, noise = noisy_circuit()
+    before = executor_health()
+    StatevectorSimulator(
+        trajectory_executor="process",
+        noise_model=noise,
+        max_batch_memory=128 * 32,
+        trajectory_workers=2,
+        fault_plan=FaultPlan([FaultEvent("kill", chunk_id=0)]),
+    ).run(circuit, shots=900, seed=71)
+    after = executor_health()
+    assert after["pool_rebuilds"] == before["pool_rebuilds"] + 1
+    assert after["groups_redispatched"] > before["groups_redispatched"]
+    assert after["generations_retired"] > before["generations_retired"]
+
+
+# -- generation/lease pool ----------------------------------------------------------
+
+def test_growth_does_not_strand_inflight_lease(process_pool):
+    from repro.simulators.gate import procpool
+
+    procpool.shutdown_worker_pool()
+    small = procpool._acquire_pool(2)
+    assert small.leases == 1
+    # A concurrent grow retires the small generation but must not shut it
+    # down while the lease is live: its executor still runs work.
+    large = procpool._acquire_pool(4)
+    assert large is not small
+    assert small.retired
+    assert small.executor.submit(int, "7").result() == 7
+    procpool._release_pool(small)  # last lease out -> generation shuts down
+    with pytest.raises(RuntimeError):
+        small.executor.submit(int, "7")
+    assert large.executor.submit(int, "8").result() == 8
+    procpool._release_pool(large)
+    assert procpool.worker_pool_info() == {"workers": 4, "started": 1}
+    procpool.shutdown_worker_pool()
+
+
+def test_legacy_get_worker_pool_contract(process_pool):
+    from repro.simulators.gate.procpool import (
+        get_worker_pool,
+        shutdown_worker_pool,
+        worker_pool_info,
+    )
+
+    shutdown_worker_pool()
+    pool2 = get_worker_pool(2)
+    assert worker_pool_info() == {"workers": 2, "started": 1}
+    assert get_worker_pool(1) is pool2  # smaller request reuses the warm pool
+    pool4 = get_worker_pool(4)
+    assert pool4 is not pool2
+    assert worker_pool_info()["workers"] == 4
+    shutdown_worker_pool()
+    assert worker_pool_info() == {"workers": 0, "started": 0}
+
+
+# -- seeded chaos sweep (slow lane) -------------------------------------------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(6))
+def test_chaos_sweep_recovers_bit_identical(seed, process_pool):
+    """Randomized-but-seeded kill/hang plans never corrupt seeded counts."""
+    circuit, noise = noisy_circuit()
+    kwargs = dict(
+        noise_model=noise, max_batch_memory=128 * 32, trajectory_workers=4
+    )
+    clean = StatevectorSimulator(trajectory_executor="process", **kwargs).run(
+        circuit, shots=900, seed=71
+    )
+    plan = FaultPlan.seeded(
+        seed, num_chunks=8, kinds=("kill", "hang"), events=2, hang_s=0.02
+    )
+    chaotic = StatevectorSimulator(
+        trajectory_executor="process", fault_plan=plan, **kwargs
+    ).run(circuit, shots=900, seed=71)
+    recovery = chaotic.metadata["executor_recovery"]
+    kills = sum(1 for event in plan.events if event.kind == "kill")
+    assert (recovery["pool_rebuilds"] > 0) == (kills > 0)
+    assert dict(chaotic.counts) == dict(clean.counts)

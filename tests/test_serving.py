@@ -66,6 +66,13 @@ def test_submit_many_coalesces_identical_structures():
         "failed": 0,
         "groups": 1,
         "coalesced": 4,
+        "retries": 0,
+        "crashes_recovered": 0,
+        "deadline_kills": 0,
+        "cancelled": 0,
+        "rejected": 0,
+        "pool_breakages": 0,
+        "executor_fallback": 0,
     }
     assert compile_cache_info()["template"]["misses"] == 1
     assert len(results) == 5
