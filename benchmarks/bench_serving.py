@@ -5,10 +5,14 @@ repository root:
 
 * **mixed-workload throughput** — jobs/sec of :class:`JobService` over a
   mixed QAOA / QFT / repetition-code-memory batch (the three bundle shapes
-  the paper's middle layer serves side by side), with structure coalescing
-  on versus off.  Compile caches are cleared before each run so the
-  coalesced run's advantage is the honest one: one fusion/template compile
-  per distinct structure instead of a cold-cache race.
+  the paper's middle layer serves side by side), three ways: **coalesced**
+  (the default: structure groups execute as one *merged* batch-axis run
+  each), **back_to_back** (coalescing on, merging off — PR 8's behaviour:
+  one backend call per job out of warm caches), and **uncoalesced** (every
+  job alone, cold grouping).  Compile caches are cleared before each run so
+  the comparison is honest: ``coalesced_speedup`` (uncoalesced wall over
+  merged wall) is the headline, ``merge_speedup`` (back-to-back wall over
+  merged wall) isolates what the merged fast path itself buys.
 * **trajectory executor** — warm wall clock of the same seeded noisy
   workload on the thread executor versus the persistent process pool, with
   the bit-identity check between their counts.  The speedup is reported for
@@ -102,12 +106,17 @@ def mixed_batch(jobs_per_shape, samples):
 
 
 def bench_serving(jobs_per_shape, samples, lanes):
-    """Jobs/sec of the mixed batch, coalescing on vs off (cold caches each)."""
+    """Jobs/sec of the mixed batch: merged vs back-to-back vs uncoalesced."""
+    configs = (
+        ("coalesced", dict(coalesce=True)),  # merged fast path, the default
+        ("back_to_back", dict(coalesce=True, coalesce_merge=False)),
+        ("uncoalesced", dict(coalesce=False)),
+    )
     rows = {}
-    for label, coalesce in (("coalesced", True), ("uncoalesced", False)):
+    for label, service_kwargs in configs:
         bundles = mixed_batch(jobs_per_shape, samples)
         clear_compile_caches()
-        with JobService(lanes=lanes, coalesce=coalesce) as service:
+        with JobService(lanes=lanes, **service_kwargs) as service:
             start = time.perf_counter()
             service.submit_many(bundles)
             tickets = service.drain()
@@ -121,6 +130,8 @@ def bench_serving(jobs_per_shape, samples, lanes):
             "jobs_per_s": round(len(bundles) / elapsed, 2),
             "groups": stats["groups"],
             "coalesced": stats["coalesced"],
+            "merged_groups": stats["merged_groups"],
+            "merged_jobs": stats["merged_jobs"],
             "template_compiles": compile_cache_info()["template"]["misses"],
         }
     return {
@@ -130,6 +141,9 @@ def bench_serving(jobs_per_shape, samples, lanes):
         "runs": rows,
         "coalesced_speedup": round(
             rows["uncoalesced"]["wall_s"] / rows["coalesced"]["wall_s"], 2
+        ),
+        "merge_speedup": round(
+            rows["back_to_back"]["wall_s"] / rows["coalesced"]["wall_s"], 2
         ),
     }
 
@@ -201,18 +215,24 @@ def run_suite(write=True, *, jobs_per_shape=6, samples=1024, lanes=2,
 
 
 def test_serving_floors():
-    """Coalesced run compiles each structure once; executors bit-identical."""
+    """Merged groups win outright; structures compile once; executors match."""
     record = run_suite()
     serving = record["serving"]
     coalesced = serving["runs"]["coalesced"]
-    # Three distinct structures -> three groups, everyone else coalesces.
+    # Three distinct structures -> three groups, everyone else coalesces,
+    # and every coalesced group executes as one merged batch-axis run.
     assert coalesced["groups"] == 3, serving
     assert coalesced["coalesced"] == coalesced["jobs"] - 3, serving
+    assert coalesced["merged_groups"] == 3, serving
+    assert coalesced["merged_jobs"] == coalesced["jobs"], serving
     # The QEC shape compiles on the stabilizer engine, so at most the QAOA
     # and QFT structures touch the template cache -- and only once each.
     assert coalesced["template_compiles"] <= 2, serving
     uncoalesced = serving["runs"]["uncoalesced"]
     assert uncoalesced["groups"] == uncoalesced["jobs"], serving
+    assert uncoalesced["merged_jobs"] == 0, serving
+    # The point of the merged fast path: coalescing now pays for itself.
+    assert serving["coalesced_speedup"] >= 1.0, serving
     assert record["executor"]["seeded_counts_identical"]
 
 
@@ -223,6 +243,7 @@ def test_serving_smoke():
         exec_qubits=5, exec_shots=256,
     )
     assert record["serving"]["runs"]["coalesced"]["groups"] == 3
+    assert record["serving"]["runs"]["coalesced"]["merged_jobs"] > 0
     assert record["executor"]["seeded_counts_identical"]
     shutdown_worker_pool()
 

@@ -16,7 +16,7 @@ Execution pipeline for one bundle:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.bundle import JobBundle
 from ..core.context import ContextDescriptor, ExecPolicy
@@ -31,6 +31,25 @@ from .base import Backend, ExecutionResult
 from .lowering import GATE_LOWERING_RULES, QubitAllocation, lower_operator
 
 __all__ = ["GateBackend"]
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert *value* into a hashable merge-key component.
+
+    Mappings become sorted ``(key, frozen value)`` tuples, sequences become
+    tuples, primitives pass through; anything else falls back to its
+    ``repr`` (identity-ish semantics — unknown objects only compare equal
+    when they print equal, which is the conservative direction for merge
+    eligibility).
+    """
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return tuple(_freeze(v) for v in items)
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    return ("repr", repr(value))
 
 
 class GateBackend(Backend):
@@ -77,11 +96,20 @@ class GateBackend(Backend):
         return circuit, allocation
 
     # -- execution ----------------------------------------------------------------------
-    def run(self, bundle: JobBundle) -> ExecutionResult:
+    def run(self, bundle: JobBundle, lowered: Optional[tuple] = None) -> ExecutionResult:
         """Execute *bundle* end to end and return decoded-ready counts.
 
+        *lowered* optionally supplies an already-built ``(circuit,
+        allocation)`` pair for this bundle (the serving layer lowers once to
+        compute its coalescing key and passes the artifact through, instead
+        of lowering the same bundle twice).
+
         Simulator knobs are read from ``context.exec.options`` (all
-        optional; unknown keys are ignored):
+        optional; unknown keys are ignored).  The serving layer additionally
+        reads ``deadline_s`` and ``coalesce_merge`` from the same mapping;
+        both are scheduling-only knobs that never change executed counts, so
+        they are excluded from the merge eligibility key
+        (:attr:`MERGE_NEUTRAL_OPTIONS`).  Knobs consumed here:
 
         ``optimization_level`` (int, default ``1``)
             Transpiler effort passed to
@@ -178,63 +206,11 @@ class GateBackend(Backend):
             parameter-grid sweeps) in the variational outer loop.  Listed
             here because it rides in the same exec-policy options mapping.
         """
-        self.check_capabilities(bundle)
-        context = bundle.context or ContextDescriptor(exec=ExecPolicy(engine=self.engines[0]))
-        exec_policy = context.exec
-
-        circuit, allocation = self.build_circuit(bundle)
-
-        target = exec_policy.target
-        transpiled = transpile_cached(
-            circuit,
-            basis_gates=list(target.basis_gates) if target and target.basis_gates else None,
-            coupling_map=list(target.coupling_map) if target and target.coupling_map else None,
-            optimization_level=int(exec_policy.options.get("optimization_level", 1)),
+        context, exec_policy, circuit, allocation, transpiled = self._prepare(
+            bundle, lowered
         )
-
-        noise_model = NoiseModel.from_dict(exec_policy.options.get("noise"))
-        max_batch_memory = exec_policy.options.get("max_batch_memory", DEFAULT_MAX_BATCH_MEMORY)
-        trajectory_engine = str(exec_policy.options.get("trajectory_engine", "batched"))
-        if trajectory_engine == "auto":
-            from .registry import resolve_trajectory_engine  # local: import cycle
-
-            trajectory_engine = resolve_trajectory_engine(transpiled.circuit)
-        trajectory_executor = str(
-            exec_policy.options.get("trajectory_executor", "thread")
-        )
-        if trajectory_executor == "auto":
-            from .registry import resolve_trajectory_executor  # local: import cycle
-
-            trajectory_executor = resolve_trajectory_executor()
         try:
-            simulator = StatevectorSimulator(
-                noise_model=noise_model,
-                max_batch_memory=None if max_batch_memory is None else int(max_batch_memory),
-                trajectory_engine=trajectory_engine,
-                trajectory_executor=trajectory_executor,
-                trajectory_dtype=str(exec_policy.options.get("trajectory_dtype", "complex64")),
-                # Passed through unconverted: the simulator enforces the
-                # int-or-"auto" contract and coercing here would mask it.
-                trajectory_workers=exec_policy.options.get("trajectory_workers", 1),
-                density_sampling=str(
-                    exec_policy.options.get("density_sampling", "multinomial")
-                ),
-                pin_blas_threads=bool(
-                    exec_policy.options.get("pin_blas_threads", True)
-                ),
-                # Passed through unconverted: the simulator enforces the
-                # number-or-None / positive-int contracts.
-                noise_gemm_threshold=exec_policy.options.get(
-                    "noise_gemm_threshold", DEFAULT_NOISE_GEMM_THRESHOLD
-                ),
-                compile_cache_size=exec_policy.options.get("compile_cache_size"),
-                # Passed through unconverted: the simulator coerces dict
-                # specs through FaultPlan.coerce and enforces the contract.
-                fault_plan=exec_policy.options.get("fault_plan"),
-                # Passed through unconverted: the simulator enforces the
-                # bool contract.
-                verify_compiled=exec_policy.options.get("verify_compiled", False),
-            )
+            simulator = self._make_simulator(exec_policy, transpiled.circuit)
             simulation = simulator.run(
                 transpiled.circuit,
                 shots=exec_policy.samples,
@@ -247,7 +223,178 @@ class GateBackend(Backend):
             raise
         except Exception as exc:  # noqa: BLE001 - surface as backend failure
             raise BackendError(f"gate backend simulation failed: {exc}") from exc
+        return self._make_result(
+            bundle, context, exec_policy, circuit, allocation, transpiled, simulation
+        )
 
+    #: Exec-policy options that never change executed counts — serving-layer
+    #: scheduling knobs — excluded from :meth:`merge_key` so jobs differing
+    #: only in deadline or merge opt-out still share one merged run.
+    MERGE_NEUTRAL_OPTIONS = frozenset({"deadline_s", "coalesce_merge"})
+
+    def merge_key(self, bundle: JobBundle, lowered: Optional[tuple] = None) -> tuple:
+        """Hashable merge-eligibility key for batch-axis merged execution.
+
+        Two bundles may execute as one merged run iff their keys are equal:
+        identical bound circuit (structure **and** parameter values),
+        identical frozen exec options (minus the serving-only
+        :attr:`MERGE_NEUTRAL_OPTIONS`), identical target constraints, and
+        the same engine.  ``samples`` and ``seed`` are per-job
+        :class:`~repro.core.context.ExecPolicy` fields — not options — and
+        are deliberately free to differ: they become the merged run's
+        per-job ``(shots, seed)`` specs, each with its own RNG streams.
+        """
+        from ..simulators.gate.fusion import params_key, structure_key  # local: cycle
+
+        circuit, _ = lowered if lowered is not None else self.build_circuit(bundle)
+        context = bundle.context or ContextDescriptor(exec=ExecPolicy(engine=self.engines[0]))
+        exec_policy = context.exec
+        options = {
+            k: v
+            for k, v in exec_policy.options.items()
+            if k not in self.MERGE_NEUTRAL_OPTIONS
+        }
+        target = exec_policy.target
+        target_key = (
+            None
+            if target is None
+            else (
+                tuple(target.basis_gates) if target.basis_gates else None,
+                tuple(target.coupling_map) if target.coupling_map else None,
+                target.num_qubits,
+            )
+        )
+        return (
+            exec_policy.engine,
+            structure_key(circuit),
+            params_key(circuit),
+            target_key,
+            _freeze(options),
+        )
+
+    def run_merged(
+        self,
+        bundles: Sequence[JobBundle],
+        lowered: Optional[Sequence[Optional[tuple]]] = None,
+    ) -> List[ExecutionResult]:
+        """Execute several merge-eligible bundles as one merged simulator run.
+
+        Callers group by :meth:`merge_key`; this method transpiles the
+        shared circuit once (cache hits for the rest of the group) and hands
+        the per-bundle ``(samples, seed)`` specs to
+        :meth:`~repro.simulators.gate.statevector.StatevectorSimulator.run_merged`,
+        which guarantees each job's seeded counts are bit-identical to a
+        solo run.  Each returned :class:`ExecutionResult` carries its own
+        bundle's schemas and digest, the usual metadata, and
+        ``metadata["merged"]`` describing the group (``None`` for jobs the
+        simulator fell back to solo execution for).
+        """
+        if not bundles:
+            return []
+        lowered_list = list(lowered) if lowered is not None else [None] * len(bundles)
+        prepared = [
+            self._prepare(bundle, low) for bundle, low in zip(bundles, lowered_list)
+        ]
+        _, exec_first, _, _, transpiled_first = prepared[0]
+        specs = [
+            (exec_policy.samples, exec_policy.seed)
+            for _, exec_policy, _, _, _ in prepared
+        ]
+        try:
+            simulator = self._make_simulator(exec_first, transpiled_first.circuit)
+            simulations = simulator.run_merged(transpiled_first.circuit, specs)
+        except UnsupportedGateError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surface as backend failure
+            raise BackendError(f"gate backend merged simulation failed: {exc}") from exc
+        return [
+            self._make_result(
+                bundle, context, exec_policy, circuit, allocation, transpiled, simulation
+            )
+            for bundle, (context, exec_policy, circuit, allocation, transpiled), simulation
+            in zip(bundles, prepared, simulations)
+        ]
+
+    def _prepare(self, bundle: JobBundle, lowered: Optional[tuple]):
+        """Shared front half of :meth:`run` / :meth:`run_merged`.
+
+        Capability check, context default, lowering (reusing a caller-built
+        ``(circuit, allocation)`` pair when supplied) and cached
+        transpilation.
+        """
+        self.check_capabilities(bundle)
+        context = bundle.context or ContextDescriptor(exec=ExecPolicy(engine=self.engines[0]))
+        exec_policy = context.exec
+
+        circuit, allocation = (
+            lowered if lowered is not None else self.build_circuit(bundle)
+        )
+
+        target = exec_policy.target
+        transpiled = transpile_cached(
+            circuit,
+            basis_gates=list(target.basis_gates) if target and target.basis_gates else None,
+            coupling_map=list(target.coupling_map) if target and target.coupling_map else None,
+            optimization_level=int(exec_policy.options.get("optimization_level", 1)),
+        )
+        return context, exec_policy, circuit, allocation, transpiled
+
+    def _make_simulator(self, exec_policy: ExecPolicy, transpiled_circuit: Circuit) -> StatevectorSimulator:
+        """Build the configured simulator for one run (knobs documented on :meth:`run`)."""
+        noise_model = NoiseModel.from_dict(exec_policy.options.get("noise"))
+        max_batch_memory = exec_policy.options.get("max_batch_memory", DEFAULT_MAX_BATCH_MEMORY)
+        trajectory_engine = str(exec_policy.options.get("trajectory_engine", "batched"))
+        if trajectory_engine == "auto":
+            from .registry import resolve_trajectory_engine  # local: import cycle
+
+            trajectory_engine = resolve_trajectory_engine(transpiled_circuit)
+        trajectory_executor = str(
+            exec_policy.options.get("trajectory_executor", "thread")
+        )
+        if trajectory_executor == "auto":
+            from .registry import resolve_trajectory_executor  # local: import cycle
+
+            trajectory_executor = resolve_trajectory_executor()
+        return StatevectorSimulator(
+            noise_model=noise_model,
+            max_batch_memory=None if max_batch_memory is None else int(max_batch_memory),
+            trajectory_engine=trajectory_engine,
+            trajectory_executor=trajectory_executor,
+            trajectory_dtype=str(exec_policy.options.get("trajectory_dtype", "complex64")),
+            # Passed through unconverted: the simulator enforces the
+            # int-or-"auto" contract and coercing here would mask it.
+            trajectory_workers=exec_policy.options.get("trajectory_workers", 1),
+            density_sampling=str(
+                exec_policy.options.get("density_sampling", "multinomial")
+            ),
+            pin_blas_threads=bool(
+                exec_policy.options.get("pin_blas_threads", True)
+            ),
+            # Passed through unconverted: the simulator enforces the
+            # number-or-None / positive-int contracts.
+            noise_gemm_threshold=exec_policy.options.get(
+                "noise_gemm_threshold", DEFAULT_NOISE_GEMM_THRESHOLD
+            ),
+            compile_cache_size=exec_policy.options.get("compile_cache_size"),
+            # Passed through unconverted: the simulator coerces dict
+            # specs through FaultPlan.coerce and enforces the contract.
+            fault_plan=exec_policy.options.get("fault_plan"),
+            # Passed through unconverted: the simulator enforces the
+            # bool contract.
+            verify_compiled=exec_policy.options.get("verify_compiled", False),
+        )
+
+    def _make_result(
+        self,
+        bundle: JobBundle,
+        context: ContextDescriptor,
+        exec_policy: ExecPolicy,
+        circuit: Circuit,
+        allocation: QubitAllocation,
+        transpiled,
+        simulation,
+    ) -> ExecutionResult:
+        """Assemble one bundle's :class:`ExecutionResult` from its simulation."""
         schemas = [
             (op.result_schema, allocation.clbit_offsets.get(op.name, 0))
             for op in bundle.operators
@@ -275,6 +422,7 @@ class GateBackend(Backend):
                 "trajectory_workers": simulation.metadata.get("trajectory_workers"),
                 "executor_recovery": simulation.metadata.get("executor_recovery"),
                 "num_batches": simulation.metadata.get("num_batches"),
+                "merged": simulation.metadata.get("merged"),
                 "uses_qec": context.uses_qec,
             },
             _bundle=bundle,

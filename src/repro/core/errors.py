@@ -168,11 +168,16 @@ class ChunkReassemblyError(SimulationError):
 
     Raised instead of passing ``None`` bit rows downstream when a chunk slot
     was never filled — a lost future, a worker that returned a partial
-    group, a bookkeeping bug.  Carries the missing chunk ids for diagnosis.
+    group, a bookkeeping bug.  Carries the missing chunk ids for diagnosis:
+    plain ints for standalone chunk plans, ``(job, chunk_id)`` pairs for
+    merged-group plans.
     """
 
     def __init__(self, missing, total: int):
-        self.missing = tuple(int(c) for c in missing)
+        self.missing = tuple(
+            tuple(int(part) for part in c) if isinstance(c, tuple) else int(c)
+            for c in missing
+        )
         self.total = int(total)
         super().__init__(
             f"chunk reassembly lost {len(self.missing)} of {self.total} "

@@ -23,6 +23,17 @@ Three properties matter at serving scale:
   circuit).  A group executes back-to-back on one lane: the first job pays
   the fusion/transpile analysis, the rest re-bind parameters out of the
   warm caches — N submissions, one compile, N independent result streams.
+* **Merged execution** — with ``coalesce_merge`` on (the default), the
+  merge-eligible slice of a coalesced group (matching
+  :meth:`~repro.backends.gate_backend.GateBackend.merge_key`) executes as
+  **one** backend invocation on the batch axis instead of back-to-back:
+  one compile, one tensor evolution over the concatenated shots, counts
+  split back per ticket.  The segmented chunk plan keeps every member's
+  seeded counts bit-identical to a standalone run, and failure isolation
+  guarantees one member's deadline or crash never poisons the rest — the
+  survivors fall back to the ordinary solo attempt loop.  The lowering
+  artifact computed for the coalescing key is cached on the ticket and
+  reused at execution time, so no job is lowered twice.
 * **Streaming** — :meth:`JobService.as_completed` yields tickets in
   completion order; each :class:`JobTicket` is also a future-like handle
   (``done()`` / ``result()`` / ``exception()`` / ``cancel()``) for point
@@ -75,6 +86,7 @@ import numpy as np
 from ..backends.base import ExecutionResult
 from ..backends.registry import get_backend
 from ..backends.runtime import submit as runtime_submit
+from ..backends.runtime import submit_merged as runtime_submit_merged
 from ..core.bundle import JobBundle
 from ..core.errors import (
     DeadlineExceededError,
@@ -161,6 +173,8 @@ class ServiceStats:
     failed: int = 0
     groups: int = 0
     coalesced: int = 0
+    merged_groups: int = 0
+    merged_jobs: int = 0
     retries: int = 0
     crashes_recovered: int = 0
     deadline_kills: int = 0
@@ -180,6 +194,7 @@ class JobTicket:
     estimated_runtime_s: float
     coalesce_key: Any = field(repr=False, default=None)
     _bundle: Optional[JobBundle] = field(repr=False, default=None)
+    _lowered: Optional[tuple] = field(repr=False, default=None)
     _future: Future = field(repr=False, default_factory=Future)
     _service: Optional["JobService"] = field(repr=False, default=None)
     _cancel_noted: bool = field(repr=False, default=False)
@@ -234,6 +249,15 @@ class JobService:
         When ``True`` (default), jobs whose lowered circuits share a
         structure key execute as one group (one compile); ``False`` gives
         every job its own group.
+    coalesce_merge:
+        When ``True`` (default), the merge-eligible slice of each coalesced
+        group — members whose
+        :meth:`~repro.backends.gate_backend.GateBackend.merge_key` values
+        match — executes as **one** merged backend run on the batch axis,
+        with counts split back per ticket (bit-identical to standalone
+        execution by the segmented chunk-plan contract).  ``False`` keeps
+        groups back-to-back: one backend call per member.  Individual jobs
+        opt out with a falsy ``coalesce_merge`` exec option.
     exec_options:
         Extra ``context.exec.options`` entries merged into every submitted
         bundle (submission wins on conflicts is **not** the rule — the
@@ -275,6 +299,7 @@ class JobService:
         scheduler: Optional[CostAwareScheduler] = None,
         lanes: int = 1,
         coalesce: bool = True,
+        coalesce_merge: bool = True,
         exec_options: Optional[Dict[str, Any]] = None,
         retry_policy: Optional[RetryPolicy] = None,
         max_pending: Optional[int] = None,
@@ -304,6 +329,7 @@ class JobService:
             raise ServiceError("fallback_after must be >= 1")
         self._scheduler = scheduler or CostAwareScheduler()
         self._coalesce = bool(coalesce)
+        self._coalesce_merge = bool(coalesce_merge)
         self._exec_options = dict(exec_options or {})
         self._retry_policy = retry_policy
         self._max_pending = max_pending
@@ -323,6 +349,8 @@ class JobService:
             "failed": 0,
             "groups": 0,
             "coalesced": 0,
+            "merged_groups": 0,
+            "merged_jobs": 0,
             "retries": 0,
             "crashes_recovered": 0,
             "deadline_kills": 0,
@@ -394,8 +422,9 @@ class JobService:
                     placed[bundle.name].engine,
                     placed[bundle.name].estimated_runtime_s,
                     key,
+                    lowered,
                 )
-                for bundle, key in zip(admitted, keys)
+                for bundle, (key, lowered) in zip(admitted, keys)
             ]
             self._wake.notify()
         return tickets
@@ -429,27 +458,41 @@ class JobService:
             )
         return bundle
 
-    def _coalesce_key(self, bundle: JobBundle, engine: str) -> Any:
-        """Structure-keyed grouping key; unique object when not coalescable."""
+    def _coalesce_key(
+        self, bundle: JobBundle, engine: str
+    ) -> Tuple[Any, Optional[tuple]]:
+        """Structure-keyed grouping key plus the lowering artifact it cost.
+
+        Returns ``(key, lowered)`` where ``lowered`` is the backend's
+        ``(circuit, allocation)`` pair when the key required lowering the
+        bundle (``None`` otherwise).  The artifact is cached on the ticket
+        and reused at execution time, so keying a job never doubles its
+        lowering work.
+        """
         if self._coalesce:
             backend = get_backend(engine)
             builder = getattr(backend, "build_circuit", None)
             if builder is not None:
                 from ..simulators.gate.fusion import structure_key
 
-                circuit, _ = builder(bundle)
-                return (engine, structure_key(circuit))
-        return object()  # never equal to another key: a group of one
+                lowered = builder(bundle)
+                return (engine, structure_key(lowered[0])), lowered
+        return object(), None  # key never equal to another: a group of one
 
     def _enqueue(self, bundle: JobBundle, engine: str, estimate: float) -> JobTicket:
-        key = self._coalesce_key(bundle, engine)
+        key, lowered = self._coalesce_key(bundle, engine)
         with self._wake:
-            ticket = self._enqueue_locked(bundle, engine, estimate, key)
+            ticket = self._enqueue_locked(bundle, engine, estimate, key, lowered)
             self._wake.notify()
         return ticket
 
     def _enqueue_locked(
-        self, bundle: JobBundle, engine: str, estimate: float, key: Any
+        self,
+        bundle: JobBundle,
+        engine: str,
+        estimate: float,
+        key: Any,
+        lowered: Optional[tuple] = None,
     ) -> JobTicket:
         """Queue one placed bundle; caller holds ``self._wake``."""
         if self._closed:
@@ -476,6 +519,7 @@ class JobService:
             estimated_runtime_s=estimate,
             coalesce_key=key,
             _bundle=bundle,
+            _lowered=lowered,
             _service=self,
         )
         self._by_name[bundle.name] = ticket
@@ -511,13 +555,186 @@ class JobService:
                 self._lanes.submit(self._run_group, tickets)
 
     def _run_group(self, tickets: List[JobTicket]) -> None:
-        """Execute one coalesced group back-to-back on this lane."""
-        for position, ticket in enumerate(tickets):
-            if not ticket._future.set_running_or_notify_cancel():
+        """Execute one coalesced group on this lane, merging where eligible."""
+        positions = {id(ticket): i for i, ticket in enumerate(tickets)}
+        for subgroup in self._merge_subgroups(tickets):
+            live = [
+                ticket
+                for ticket in subgroup
+                if ticket._future.set_running_or_notify_cancel()
                 # Cancelled before start; cancel() already settled the ticket.
+            ]
+            if not live:
                 continue
-            self._run_job(ticket, len(tickets), position)
+            if len(live) == 1:
+                ticket = live[0]
+                self._run_job(ticket, len(tickets), positions[id(ticket)])
+                self._settle(ticket)
+            else:
+                self._run_merged_group(live, len(tickets), positions)
+
+    def _merge_subgroups(self, tickets: List[JobTicket]) -> List[List[JobTicket]]:
+        """Partition a coalesced group into merge-eligible runs, order kept.
+
+        Tickets whose backends report equal merge keys land in one subgroup
+        (a single merged execution); a ticket with no merge key — merging
+        disabled service-wide, opted out per job, a non-lowering backend, or
+        a ``merge_key`` failure — becomes a singleton and runs solo exactly
+        as before.
+        """
+        if not self._coalesce_merge or len(tickets) < 2:
+            return [[ticket] for ticket in tickets]
+        subgroups: Dict[Any, List[JobTicket]] = {}
+        order: List[Any] = []
+        for ticket in tickets:
+            key = self._merge_key_for(ticket)
+            if key is None:
+                key = ("solo", id(ticket))
+            if key not in subgroups:
+                subgroups[key] = []
+                order.append(key)
+            subgroups[key].append(ticket)
+        return [subgroups[key] for key in order]
+
+    def _merge_key_for(self, ticket: JobTicket) -> Optional[Any]:
+        """The ticket's merge-eligibility key, or ``None`` to force solo."""
+        bundle = ticket._bundle
+        if not bundle.context.exec.options.get("coalesce_merge", True):
+            return None
+        if ticket._lowered is None:
+            return None
+        merge_key = getattr(get_backend(ticket.engine), "merge_key", None)
+        if merge_key is None:
+            return None
+        try:
+            return (ticket.engine, merge_key(bundle, ticket._lowered))
+        except Exception:  # noqa: BLE001 - an unkeyable job simply runs solo
+            return None
+
+    def _run_merged_group(
+        self,
+        tickets: List[JobTicket],
+        group_size: int,
+        positions: Dict[int, int],
+    ) -> None:
+        """One merged execution for a subgroup, with solo-fallback isolation.
+
+        The whole subgroup runs as a single backend invocation
+        (:func:`~repro.backends.runtime.submit_merged`).  Failure isolation:
+        a deadline expiry fails only the members whose own deadline is
+        spent, and any other failure sends **every** member back through the
+        ordinary standalone attempt loop (deadline, retries, degradation) —
+        one bad job never poisons the rest of the group.
+        """
+        with self._stats_lock:
+            degraded = bool(self._stats["executor_fallback"])
+        bundles = [
+            self._degrade_bundle(ticket._bundle) if degraded else ticket._bundle
+            for ticket in tickets
+        ]
+        deadlines = [
+            bundle.context.exec.options.get("deadline_s", self._default_deadline_s)
+            for bundle in bundles
+        ]
+        limits = [float(d) for d in deadlines if d is not None]
+        effective = min(limits) if limits else None
+        lowered = [ticket._lowered for ticket in tickets]
+        backend = get_backend(tickets[0].engine)
+        try:
+            if effective is None:
+                results = runtime_submit_merged(
+                    bundles, backend=backend, validate=False, lowered=lowered
+                )
+            else:
+                results = self._merged_with_deadline(
+                    bundles, lowered, backend, effective
+                )
+        except DeadlineExceededError:
+            survivors: List[JobTicket] = []
+            for ticket, deadline in zip(tickets, deadlines):
+                if deadline is not None and float(deadline) <= effective:
+                    # This member's own deadline is the one that expired.
+                    with self._stats_lock:
+                        self._stats["deadline_kills"] += 1
+                        self._stats["failed"] += 1
+                    ticket._future.set_exception(
+                        DeadlineExceededError(
+                            f"job {ticket.name!r} exceeded its {deadline}s "
+                            "deadline during a merged group run; the attempt "
+                            "was abandoned and its lane freed"
+                        )
+                    )
+                    self._settle(ticket)
+                else:
+                    survivors.append(ticket)
+            for ticket in survivors:
+                self._run_job(ticket, group_size, positions[id(ticket)])
+                self._settle(ticket)
+            return
+        except BaseException as exc:  # noqa: BLE001 - every member re-runs solo
+            if is_pool_breakage(exc):
+                self._note_pool_breakage()
+            for ticket in tickets:
+                self._run_job(ticket, group_size, positions[id(ticket)])
+                self._settle(ticket)
+            return
+        recovery = results[0].metadata.get("executor_recovery") or {}
+        rebuilds = int(recovery.get("pool_rebuilds") or 0)
+        if rebuilds:
+            # One shared run: its rebuilds count once, not per member.
+            self._note_pool_breakage(count=rebuilds, recovered=True)
+        with self._stats_lock:
+            self._stats["merged_groups"] += 1
+            self._stats["merged_jobs"] += len(tickets)
+            self._stats["completed"] += len(tickets)
+        for ticket, result in zip(tickets, results):
+            result.metadata["serving"] = {
+                "job_id": ticket.job_id,
+                "engine": ticket.engine,
+                "group_size": group_size,
+                "group_position": positions[id(ticket)],
+                "attempts": 1,
+                "executor_fallback": degraded,
+                "merged": True,
+            }
+            ticket._future.set_result(result)
             self._settle(ticket)
+
+    def _merged_with_deadline(
+        self,
+        bundles: List[JobBundle],
+        lowered: List[Optional[tuple]],
+        backend: Any,
+        deadline: float,
+    ) -> List[ExecutionResult]:
+        """Run one merged attempt under the subgroup's tightest deadline."""
+        box: Dict[str, Any] = {}
+        finished = threading.Event()
+
+        def run_attempt() -> None:
+            try:
+                box["results"] = runtime_submit_merged(
+                    bundles, backend=backend, validate=False, lowered=lowered
+                )
+            except BaseException as exc:  # noqa: BLE001 - shipped to the lane
+                box["error"] = exc
+            finally:
+                finished.set()
+
+        worker = threading.Thread(
+            target=run_attempt,
+            name="serving-merged-deadline",
+            daemon=True,  # an abandoned attempt must not block interpreter exit
+        )
+        worker.start()
+        if not finished.wait(deadline):
+            raise DeadlineExceededError(
+                f"merged group of {len(bundles)} exceeded its tightest "
+                f"{deadline}s deadline; the attempt was abandoned"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["results"]
 
     def _run_job(self, ticket: JobTicket, group_size: int, position: int) -> None:
         """One job's attempt loop: deadline, transient retry, degradation."""
@@ -562,6 +779,7 @@ class JobService:
                 "group_position": position,
                 "attempts": attempt + 1,
                 "executor_fallback": degraded,
+                "merged": False,
             }
             with self._stats_lock:
                 self._stats["completed"] += 1
@@ -580,7 +798,10 @@ class JobService:
         )
         if deadline is None:
             result = runtime_submit(
-                bundle, backend=get_backend(ticket.engine), validate=False
+                bundle,
+                backend=get_backend(ticket.engine),
+                validate=False,
+                lowered=ticket._lowered,
             )
             return result, degraded
         box: Dict[str, Any] = {}
@@ -589,7 +810,10 @@ class JobService:
         def run_attempt() -> None:
             try:
                 box["result"] = runtime_submit(
-                    bundle, backend=get_backend(ticket.engine), validate=False
+                    bundle,
+                    backend=get_backend(ticket.engine),
+                    validate=False,
+                    lowered=ticket._lowered,
                 )
             except BaseException as exc:  # noqa: BLE001 - shipped to the lane
                 box["error"] = exc
@@ -705,7 +929,9 @@ class JobService:
         """Counter snapshot: throughput plus the fault-tolerance counters.
 
         Keys: ``submitted`` / ``completed`` / ``failed`` / ``groups`` /
-        ``coalesced`` (as before) plus ``retries`` (transient re-executions),
+        ``coalesced`` (as before) plus ``merged_groups`` / ``merged_jobs``
+        (merged batch-axis executions and the jobs they absorbed),
+        ``retries`` (transient re-executions),
         ``crashes_recovered`` (in-run pool rebuilds that still produced the
         job's result), ``deadline_kills``, ``cancelled``, ``rejected``
         (queue-full admissions), ``pool_breakages`` (degradation-ladder

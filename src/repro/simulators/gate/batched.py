@@ -31,6 +31,23 @@ Threading: an instance owns its tensor and scratch buffer and is **confined
 to one thread at a time** — the simulator's ``trajectory_workers`` pool
 parallelises across *instances* (one per shot chunk, each with its own
 spawned RNG stream), never within one.
+
+Segmented (merged) execution
+----------------------------
+Every stochastic method (:meth:`BatchedStatevector.measure`,
+:meth:`BatchedStatevector.reset`,
+:meth:`BatchedStatevector.apply_noise_events`,
+:meth:`BatchedStatevector.sample_all`) accepts an optional *segments*
+argument: a sequence of ``(size, generator)`` pairs partitioning the batch
+axis into contiguous runs that each draw from their **own** generator, in
+segment order, with exactly the per-call vector sizes a standalone chunk of
+that width would draw.  This is the RNG-partition half of the serving
+layer's merged group execution: N coalesced jobs concatenate their
+standalone shot chunks on the batch axis (one shared tensor evolution), and
+because every per-segment generator sees the same call sequence it would
+see standalone, each job's seeded outcomes are bit-identical to running it
+alone.  ``segments=None`` (the default) keeps the classic whole-batch
+draws from the single *rng* argument.
 """
 
 from __future__ import annotations
@@ -304,17 +321,63 @@ class BatchedStatevector:
         p1 = (np.abs(view[:, 1]) ** 2).sum(axis=(0, 1), dtype=np.float64)
         return np.clip(p1, 0.0, 1.0)
 
-    def measure(self, qubit: int, rng: np.random.Generator) -> np.ndarray:
+    # -- segmented (merged-run) draw helpers -------------------------------------
+    def _segment_uniform(self, rng, segments) -> np.ndarray:
+        """One uniform vector over the batch: whole-batch or per-segment draws.
+
+        With *segments* ``None`` this is the classic ``rng.random(batch)``
+        call; otherwise each ``(size, generator)`` segment draws its own
+        ``generator.random(size)`` — the identical call a standalone chunk
+        of that width would make — and the draws concatenate in segment
+        order.
+        """
+        if segments is None:
+            return rng.random(self.batch_size)
+        return np.concatenate([gen.random(size) for size, gen in segments])
+
+    def _draw_noise_event(self, event, rng, segments):
+        """One event's ``(struck, choice)`` draw with per-segment consumption.
+
+        Preserves the standalone consumption pattern *per generator*: one
+        uniform strike vector always, one integer operator-choice vector
+        only when that generator's sub-batch was struck at all.  Unstruck
+        segments contribute zero placeholders to *choice* (never read —
+        application masks on *struck*).  Returns ``(struck, None)`` when no
+        trajectory was struck.
+        """
+        if segments is None:
+            struck = rng.random(self.batch_size) < event.rate
+            if not struck.any():
+                return struck, None
+            return struck, rng.integers(0, len(event.operators), size=self.batch_size)
+        parts = []
+        for size, gen in segments:
+            sub = gen.random(size) < event.rate
+            if sub.any():
+                choice = gen.integers(0, len(event.operators), size=size)
+            else:
+                choice = np.zeros(size, dtype=np.int64)
+            parts.append((sub, choice))
+        struck = np.concatenate([sub for sub, _ in parts])
+        if not struck.any():
+            return struck, None
+        return struck, np.concatenate([choice for _, choice in parts])
+
+    def measure(
+        self, qubit: int, rng: Optional[np.random.Generator], segments=None
+    ) -> np.ndarray:
         """Projectively measure *qubit* on every trajectory (collapse in place).
 
         Returns a ``(batch,)`` uint8 array of outcomes.  Collapse and
         renormalisation are fused into one broadcast multiply per shot by
-        ``keep / sqrt(P(outcome))``.
+        ``keep / sqrt(P(outcome))``.  *segments* switches the outcome draw
+        to the per-segment generators of a merged run (see the module
+        docstring); collapse itself is per-column arithmetic either way.
         """
         if not 0 <= qubit < self.num_qubits:
             raise SimulationError(f"qubit {qubit} out of range")
         p1 = self.probability_one(qubit)
-        outcomes = (rng.random(self.batch_size) < p1).astype(np.uint8)
+        outcomes = (self._segment_uniform(rng, segments) < p1).astype(np.uint8)
         chosen = np.where(outcomes, p1, 1.0 - p1)
         if np.any(chosen <= 0.0):
             raise SimulationError("measurement produced a zero-norm state")
@@ -323,15 +386,18 @@ class BatchedStatevector:
         self._split_view(qubit)[...] *= scale.reshape(1, 2, 1, self.batch_size)
         return outcomes
 
-    def reset(self, qubit: int, rng: np.random.Generator) -> np.ndarray:
+    def reset(
+        self, qubit: int, rng: Optional[np.random.Generator], segments=None
+    ) -> np.ndarray:
         """Measure *qubit*, then flip the trajectories that read 1 back to 0.
 
         The conditional flip streams as two broadcast multiplies: after the
         measurement collapse, outcome-1 shots have an empty ``|0>`` branch,
         so ``v0 += o * v1; v1 *= 1 - o`` moves their amplitude down without
-        gathering columns.
+        gathering columns.  *segments* forwards to :meth:`measure` for
+        merged runs.
         """
-        outcomes = self.measure(qubit, rng)
+        outcomes = self.measure(qubit, rng, segments=segments)
         if outcomes.any():
             view = self._split_view(qubit)
             # Match the tensor's precision (float32 for complex64, float64
@@ -347,8 +413,9 @@ class BatchedStatevector:
     def apply_noise_events(
         self,
         events,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator],
         gemm_threshold: Optional[float] = None,
+        segments=None,
     ) -> None:
         """Sample and apply a step's depolarizing-error events in order.
 
@@ -373,20 +440,23 @@ class BatchedStatevector:
         *gemm_threshold* selects the path: when the step's expected number
         of sampled operators in this chunk (``batch x sum(rates)``) reaches
         it, the GEMM path runs; ``None`` (the default) always keeps the
-        slice path.  Seeded counts never depend on the choice.
+        slice path.  Seeded counts never depend on the choice.  *segments*
+        switches every draw to the per-segment generators of a merged run
+        (one strike vector per event per segment, a choice vector only for
+        segments that were struck — the standalone consumption pattern);
+        application on the concatenated batch is per-column either way.
         """
         if gemm_threshold is not None and events:
             expected = self.batch_size * sum(event.rate for event in events)
             if expected >= gemm_threshold:
-                self._apply_noise_events_gemm(events, rng)
+                self._apply_noise_events_gemm(events, rng, segments)
                 return
         draws = []
         union: Optional[np.ndarray] = None
         for event in events:
-            struck = rng.random(self.batch_size) < event.rate
-            if not struck.any():
+            struck, choice = self._draw_noise_event(event, rng, segments)
+            if choice is None:
                 continue
-            choice = rng.integers(0, len(event.operators), size=self.batch_size)
             draws.append((event, struck, choice))
             union = struck.copy() if union is None else (union | struck)
         if union is None:
@@ -407,19 +477,20 @@ class BatchedStatevector:
                 compact[:, pick] = picked
         flat[:, selected] = compact  # scatter back
 
-    def _apply_noise_events_gemm(self, events, rng: np.random.Generator) -> None:
+    def _apply_noise_events_gemm(
+        self, events, rng: Optional[np.random.Generator], segments=None
+    ) -> None:
         """High-rate strategy: one per-column operator GEMM per struck event.
 
         Consumes the RNG identically to the slice path (one uniform vector
-        per event; one integer vector only when the event struck at all), so
-        a seeded run samples the same errors on the same shots regardless of
-        which path executed.
+        per event; one integer vector only when the event struck at all —
+        per segment in merged runs), so a seeded run samples the same
+        errors on the same shots regardless of which path executed.
         """
         for event in events:
-            struck = rng.random(self.batch_size) < event.rate
-            if not struck.any():
+            struck, choice = self._draw_noise_event(event, rng, segments)
+            if choice is None:
                 continue
-            choice = rng.integers(0, len(event.operators), size=self.batch_size)
             stack = event.stack
             if stack is None or stack.dtype != self.dtype:
                 # Program compiled without a trajectory dtype: build the
@@ -432,18 +503,23 @@ class BatchedStatevector:
             apply_operator_columns(self._tensor, stack[selection], event.qubits)
 
     # -- terminal sampling ------------------------------------------------------
-    def sample_all(self, rng: np.random.Generator) -> np.ndarray:
+    def sample_all(
+        self, rng: Optional[np.random.Generator], segments=None
+    ) -> np.ndarray:
         """Draw one full computational-basis outcome per trajectory.
 
         Returns a ``(batch,)`` array of flat basis indices (qubit 0 is the
         most significant bit), sampled by per-shot cumulative-probability
-        inversion.  The state is *not* collapsed.
+        inversion.  The state is *not* collapsed.  *segments* draws each
+        merged segment's uniforms from its own generator; the inversion is
+        per-column arithmetic, so per-segment outcomes match a standalone
+        chunk bit for bit.
         """
         probs = np.abs(self._tensor.reshape(self.dim, self.batch_size)) ** 2
         shots = np.arange(self.batch_size)
         if self.dim <= 64:
             cumulative = np.cumsum(probs, axis=0, dtype=np.float64)
-            draws = rng.random(self.batch_size) * cumulative[-1]
+            draws = self._segment_uniform(rng, segments) * cumulative[-1]
             return np.minimum((cumulative < draws[None, :]).sum(axis=0), self.dim - 1)
         # Hierarchical inversion: a full cumulative sum over the strided
         # basis axis costs one cache miss per element.  Instead reduce to
@@ -453,7 +529,7 @@ class BatchedStatevector:
         width = self.dim // blocks
         block_sums = probs.reshape(blocks, width, self.batch_size).sum(axis=1, dtype=np.float64)
         block_cum = np.cumsum(block_sums, axis=0)
-        draws = rng.random(self.batch_size) * block_cum[-1]
+        draws = self._segment_uniform(rng, segments) * block_cum[-1]
         block = np.minimum((block_cum < draws[None, :]).sum(axis=0), blocks - 1)
         previous = np.where(block > 0, block_cum[np.maximum(block - 1, 0), shots], 0.0)
         residual = draws - previous

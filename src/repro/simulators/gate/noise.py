@@ -88,6 +88,22 @@ class NoiseModel:
         flips = rng.random(outcomes.shape[0]) < self.readout_error
         return (outcomes ^ flips).astype(outcomes.dtype)
 
+    def apply_readout_error_segmented(self, outcomes: np.ndarray, segments) -> np.ndarray:
+        """Segment-aware readout flips for merged runs.
+
+        *segments* is a sequence of ``(size, generator)`` pairs partitioning
+        the batch axis; each segment draws its flip vector from its own
+        generator so a merged job consumes exactly the draws a standalone
+        chunk would.  Skips all draws when the rate is zero, matching
+        :meth:`apply_readout_error_batched`.
+        """
+        if self.readout_error <= 0.0:
+            return outcomes
+        flips = np.concatenate(
+            [gen.random(size) < self.readout_error for size, gen in segments]
+        )
+        return (outcomes ^ flips).astype(outcomes.dtype)
+
     def to_dict(self) -> dict:
         """The three channel rates as a plain dict (context-options form)."""
         return {

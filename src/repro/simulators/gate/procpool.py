@@ -71,6 +71,8 @@ __all__ = [
     "executor_health",
     "run_trajectory_chunks",
     "run_stabilizer_chunks",
+    "run_merged_trajectory_chunks",
+    "run_merged_stabilizer_chunks",
 ]
 
 #: Pool rebuilds allowed within one ``run_*_chunks`` call before giving up
@@ -430,6 +432,188 @@ def run_trajectory_chunks(
             last_index = index
     _require_complete(bits_rows)
     return bits_rows, state_data, last_index, recovery
+
+
+def _deal_merged_chunks(
+    merged_chunks: Sequence[Sequence[tuple]], workers: int
+) -> List[List[Tuple[int, Sequence[tuple]]]]:
+    """Round-robin ``(merged_id, segments)`` pairs into worker groups.
+
+    Mirrors :func:`_deal_chunks` for merged super-chunks: the grouping only
+    decides *where* a super-chunk runs; every segment keeps its own
+    ``(job, chunk_id, size, stream)`` identity, so dealing, crash recovery
+    and reassembly stay bit-identical per job at every worker count.
+    """
+    groups: List[List[Tuple[int, Sequence[tuple]]]] = [[] for _ in range(workers)]
+    for merged_id, segs in enumerate(merged_chunks):
+        groups[merged_id % workers].append((merged_id, segs))
+    return [group for group in groups if group]
+
+
+def _require_merged_complete(
+    rows: Sequence[tuple], merged_chunks: Sequence[Sequence[tuple]]
+) -> None:
+    """Typed guard: every ``(job, chunk_id)`` segment slot must be filled."""
+    expected = {
+        (job, chunk_id)
+        for segs in merged_chunks
+        for job, chunk_id, _, _ in segs
+    }
+    got = {(job, chunk_id) for job, chunk_id, _ in rows}
+    missing = sorted(expected - got)
+    if missing:
+        raise ChunkReassemblyError(missing, len(expected))
+
+
+def _merged_trajectory_task(payload: tuple) -> List[Tuple[int, int, np.ndarray]]:
+    """Worker-side entry: run a group of merged super-chunks.
+
+    Each super-chunk concatenates several jobs' standalone chunks on the
+    batch axis; the worker rebuilds each segment's generator from its
+    original ``SeedSequence`` stream, runs the shared evolution once, and
+    slices the bit rows back per segment.  Returns ``(job, chunk_id, bits)``
+    rows — merged runs carry no statevector.
+    """
+    (
+        circuit,
+        template,
+        noise_model,
+        dtype_str,
+        gemm_threshold,
+        blas_threads,
+        chunks,
+        fault_plan,
+        attempt,
+    ) = payload
+    from .fusion import adopt_parametric_template, compile_trajectory_program_cached
+    from .statevector import execute_program_segments
+    from .threads import limit_blas_threads
+
+    if template is not None:
+        adopt_parametric_template(circuit, template)
+    dtype = np.dtype(dtype_str)
+    compile_noise = noise_model
+    if compile_noise is not None and compile_noise.is_noiseless:
+        compile_noise = None
+    program = compile_trajectory_program_cached(circuit, compile_noise, dtype=dtype)
+    guard = (
+        limit_blas_threads(blas_threads) if blas_threads is not None else nullcontext()
+    )
+    rows: List[Tuple[int, int, np.ndarray]] = []
+    with guard:
+        for merged_id, segs in chunks:
+            if fault_plan is not None:
+                fault_plan.fire(merged_id, attempt, executor="process")
+            segments = [
+                (size, np.random.default_rng(stream)) for _, _, size, stream in segs
+            ]
+            bits = execute_program_segments(
+                program,
+                segments,
+                noise_model=noise_model,
+                dtype=dtype,
+                gemm_threshold=gemm_threshold,
+            )
+            offset = 0
+            for job, chunk_id, size, _ in segs:
+                rows.append((job, chunk_id, bits[offset : offset + size]))
+                offset += size
+    return rows
+
+
+def run_merged_trajectory_chunks(
+    circuit,
+    template,
+    noise_model,
+    merged_chunks: Sequence[Sequence[tuple]],
+    *,
+    workers: int,
+    dtype,
+    gemm_threshold,
+    blas_threads: Optional[int] = None,
+    fault_plan=None,
+) -> Tuple[List[Tuple[int, int, np.ndarray]], Dict[str, int]]:
+    """Execute a merged super-chunk plan on the process pool.
+
+    *merged_chunks* is a list of super-chunks, each a list of
+    ``(job, chunk_id, size, stream)`` segments.  Crash recovery re-dispatches
+    only the lost super-chunks with their original streams (``attempt + 1``),
+    so recovered per-job counts are bit-identical to an uncrashed run.
+    Returns ``(rows, recovery)``: the flattened ``(job, chunk_id, bits)``
+    rows (completeness-checked per segment slot) and the run's recovery
+    counters.
+    """
+    workers = max(1, min(int(workers), len(merged_chunks)))
+    dtype_str = str(np.dtype(dtype))
+
+    def submit_group(executor, group, attempt):
+        return executor.submit(
+            _merged_trajectory_task,
+            (
+                circuit,
+                template,
+                noise_model,
+                dtype_str,
+                gemm_threshold,
+                blas_threads,
+                group,
+                fault_plan,
+                attempt,
+            ),
+        )
+
+    pending = [(group, 0) for group in _deal_merged_chunks(merged_chunks, workers)]
+    results, recovery = _run_groups_with_recovery(pending, submit_group, workers)
+    rows = [row for group_rows in results for row in group_rows]
+    _require_merged_complete(rows, merged_chunks)
+    return rows, recovery
+
+
+def _merged_stabilizer_task(payload: tuple) -> List[Tuple[int, int, np.ndarray]]:
+    """Worker-side entry for merged tableau super-chunks (pre-compiled program)."""
+    program, noise_model, chunks, fault_plan, attempt = payload
+    from .stabilizer import execute_stabilizer_program_segments
+
+    rows: List[Tuple[int, int, np.ndarray]] = []
+    for merged_id, segs in chunks:
+        if fault_plan is not None:
+            fault_plan.fire(merged_id, attempt, executor="process")
+        segments = [
+            (size, np.random.default_rng(stream)) for _, _, size, stream in segs
+        ]
+        bits = execute_stabilizer_program_segments(program, segments, noise_model)
+        offset = 0
+        for job, chunk_id, size, _ in segs:
+            rows.append((job, chunk_id, bits[offset : offset + size]))
+            offset += size
+    return rows
+
+
+def run_merged_stabilizer_chunks(
+    program,
+    noise_model,
+    merged_chunks: Sequence[Sequence[tuple]],
+    *,
+    workers: int,
+    fault_plan=None,
+) -> Tuple[List[Tuple[int, int, np.ndarray]], Dict[str, int]]:
+    """Execute a merged stabilizer super-chunk plan on the process pool.
+
+    The stabilizer analogue of :func:`run_merged_trajectory_chunks`; the
+    compiled program ships directly (parameter-free, cheap to pickle).
+    """
+    workers = max(1, min(int(workers), len(merged_chunks)))
+
+    def submit_group(executor, group, attempt):
+        return executor.submit(
+            _merged_stabilizer_task, (program, noise_model, group, fault_plan, attempt)
+        )
+
+    pending = [(group, 0) for group in _deal_merged_chunks(merged_chunks, workers)]
+    results, recovery = _run_groups_with_recovery(pending, submit_group, workers)
+    rows = [row for group_rows in results for row in group_rows]
+    _require_merged_complete(rows, merged_chunks)
+    return rows, recovery
 
 
 def _stabilizer_task(payload: tuple) -> List[Tuple[int, np.ndarray]]:

@@ -48,6 +48,7 @@ __all__ = [
     "StabilizerTableau",
     "PRIMITIVE_GATES",
     "execute_stabilizer_program",
+    "execute_stabilizer_program_segments",
 ]
 
 #: Primitive Clifford gates the tableau applies directly (the stabilizer
@@ -179,7 +180,11 @@ class StabilizerTableau:
         self.r ^= rows[:, None] & np.asarray(mask, dtype=np.uint8)[None, :]
 
     def apply_depolarizing(
-        self, qubits: Tuple[int, ...], rate: float, rng: np.random.Generator
+        self,
+        qubits: Tuple[int, ...],
+        rate: float,
+        rng: Optional[np.random.Generator],
+        segments=None,
     ) -> None:
         """One depolarizing opportunity per qubit: strike with *rate*, draw a Pauli.
 
@@ -187,11 +192,23 @@ class StabilizerTableau:
         touched is struck independently with probability *rate*, and a struck
         shot applies a uniformly drawn X, Y or Z.  The draw count per qubit is
         fixed (one uniform vector + one integer vector), so a chunk's RNG
-        stream consumption is independent of which shots are struck.
+        stream consumption is independent of which shots are struck.  With
+        *segments* — ``(size, generator)`` pairs partitioning the batch axis
+        of a merged run — each segment draws both vectors from its own
+        generator, in the same order and with the same sizes a standalone
+        chunk would, so per-job streams are untouched by merging.
         """
         for qubit in qubits:
-            struck = rng.random(self.batch_size) < rate
-            kinds = rng.integers(0, 3, size=self.batch_size)
+            if segments is None:
+                struck = rng.random(self.batch_size) < rate
+                kinds = rng.integers(0, 3, size=self.batch_size)
+            else:
+                parts = []
+                for size, gen in segments:
+                    sub = gen.random(size) < rate
+                    parts.append((sub, gen.integers(0, 3, size=size)))
+                struck = np.concatenate([sub for sub, _ in parts])
+                kinds = np.concatenate([kind for _, kind in parts])
             for kind, name in enumerate(("x", "y", "z")):
                 mask = struck & (kinds == kind)
                 if mask.any():
@@ -277,13 +294,18 @@ class StabilizerTableau:
             return np.full(self.batch_size, 0.5)
         return self._deterministic_phase(qubit).astype(np.float64)
 
-    def measure(self, qubit: int, rng: np.random.Generator) -> np.ndarray:
+    def measure(
+        self, qubit: int, rng: Optional[np.random.Generator], segments=None
+    ) -> np.ndarray:
         """Projectively measure *qubit* in the Z basis across the batch.
 
         Returns the ``(batch,)`` outcome vector and collapses the state.
         Whether the outcome is random is a property of the shared bits, so
         the whole batch takes the same branch: the random branch consumes one
         fresh random bit per shot, the deterministic branch consumes none.
+        With *segments* the random bits come from each segment's own
+        generator (branch choice is shared-bit structure, identical to the
+        standalone run by construction).
         """
         n = self.num_qubits
         pivots = np.nonzero(self.x[n:, qubit])[0]
@@ -298,16 +320,23 @@ class StabilizerTableau:
         self.x[pivot - n] = self.x[pivot]
         self.z[pivot - n] = self.z[pivot]
         self.r[pivot - n] = self.r[pivot]
-        outcomes = rng.integers(0, 2, size=self.batch_size, dtype=np.uint8)
+        if segments is None:
+            outcomes = rng.integers(0, 2, size=self.batch_size, dtype=np.uint8)
+        else:
+            outcomes = np.concatenate(
+                [gen.integers(0, 2, size=size, dtype=np.uint8) for size, gen in segments]
+            )
         self.x[pivot] = 0
         self.z[pivot] = 0
         self.z[pivot, qubit] = 1
         self.r[pivot] = outcomes
         return outcomes.copy()
 
-    def reset(self, qubit: int, rng: np.random.Generator) -> None:
+    def reset(
+        self, qubit: int, rng: Optional[np.random.Generator], segments=None
+    ) -> None:
         """Measure *qubit*, then flip the shots that collapsed to 1 back to 0."""
-        outcomes = self.measure(qubit, rng)
+        outcomes = self.measure(qubit, rng, segments=segments)
         self.apply_pauli_masked("x", qubit, outcomes)
 
     # -- invariants ------------------------------------------------------------------
@@ -385,5 +414,47 @@ def execute_stabilizer_program(
             column = tableau.measure(qubit, rng)
             if noise_model is not None and not program.terminal.implicit:
                 column = noise_model.apply_readout_error_batched(column, rng)
+            bits[:, clbit] = column
+    return bits
+
+
+def execute_stabilizer_program_segments(program, segments, noise_model=None) -> np.ndarray:
+    """Run one merged super-chunk: several jobs' chunks share one tableau.
+
+    *segments* is a sequence of ``(size, generator)`` pairs partitioning the
+    batch axis; each pair is one standalone chunk of one job, carrying that
+    chunk's own seeded generator.  The shared bit matrices evolve identically
+    at any batch width, and every random draw (Pauli channels, random-branch
+    measurements, readout flips) is pulled per segment in standalone order —
+    so slicing the returned rows back per segment reproduces each job's solo
+    chunk bit for bit.
+
+    Returns the concatenated ``(sum(sizes), bits_width)`` ``uint8`` rows in
+    segment order.
+    """
+    from .fusion import CliffordStep, MeasureStep, PauliChannelStep, ResetStep
+
+    total = sum(size for size, _ in segments)
+    tableau = StabilizerTableau(program.num_qubits, total)
+    bits = np.zeros((total, program.bits_width), dtype=np.uint8)
+    for step in program.steps:
+        if isinstance(step, CliffordStep):
+            tableau.apply_gate(step.name, step.qubits)
+        elif isinstance(step, PauliChannelStep):
+            tableau.apply_depolarizing(step.qubits, step.rate, None, segments=segments)
+        elif isinstance(step, MeasureStep):
+            outcomes = tableau.measure(step.qubit, None, segments=segments)
+            if noise_model is not None:
+                outcomes = noise_model.apply_readout_error_segmented(outcomes, segments)
+            bits[:, step.clbit] = outcomes
+        elif isinstance(step, ResetStep):
+            tableau.reset(step.qubit, None, segments=segments)
+        else:  # pragma: no cover - compiler invariant
+            raise SimulationError(f"unknown stabilizer step {type(step).__name__}")
+    if program.terminal is not None:
+        for qubit, clbit in program.terminal.pairs:
+            column = tableau.measure(qubit, None, segments=segments)
+            if noise_model is not None and not program.terminal.implicit:
+                column = noise_model.apply_readout_error_segmented(column, segments)
             bits[:, clbit] = column
     return bits

@@ -91,6 +91,7 @@ __all__ = [
     "SimulationResult",
     "StatevectorSimulator",
     "execute_program_chunk",
+    "execute_program_segments",
     "DEFAULT_MAX_BATCH_MEMORY",
 ]
 
@@ -696,6 +697,400 @@ class StatevectorSimulator:
             verify_result(result).raise_if_failed()
         return result
 
+    # -- merged-group execution ---------------------------------------------------
+    def run_merged(
+        self,
+        circuit: Circuit,
+        specs: Sequence[Tuple[int, Optional[int]]],
+    ) -> List[SimulationResult]:
+        """Execute several jobs of one circuit as a single merged run.
+
+        *specs* is a sequence of ``(shots, seed)`` pairs, one per job.  The
+        jobs share one compiled program and one batched tensor evolution: the
+        batch axis is partitioned into *segments* — one per standalone chunk
+        per job — and every random draw is pulled from that chunk's own
+        ``SeedSequence``-spawned generator, in standalone order and size.
+        The contract is strict: each returned result's seeded counts are
+        **bit-identical** to ``run(circuit, shots=..., seed=...)`` alone.
+
+        Results executed through a genuinely merged path carry
+        ``metadata["merged"] = {"group_size", "position", "merged_chunks"}``;
+        jobs that cannot merge fall back to a solo :meth:`run` with identical
+        semantics (reference/density engines, zero-shot jobs, and amplitude
+        jobs whose standalone chunk plan contains a width-1 chunk — dense
+        GEMM columns are only bit-stable across batch widths >= 2).
+        """
+        specs = [(int(shots), seed) for shots, seed in specs]
+        for shots, _ in specs:
+            if shots < 0:
+                raise SimulationError("shots must be non-negative")
+        engine = self.trajectory_engine
+        if engine == "auto":
+            from .fusion import is_clifford_circuit  # local: import cycle
+
+            engine = "stabilizer" if is_clifford_circuit(circuit) else "batched"
+        if engine == "stabilizer":
+            return self._run_stabilizer_merged(circuit, specs)
+        if self.trajectory_engine in ("density", "reference"):
+            # No batch axis to merge on: the density oracle is closed-form
+            # and the reference engine is the scalar specification.
+            return [self.run(circuit, shots=s, seed=sd) for s, sd in specs]
+        needs_trajectories = (
+            (self.noise_model is not None and not self.noise_model.is_noiseless)
+            or not circuit.measurements_are_terminal()
+            or any(inst.name == "reset" for inst in circuit.instructions)
+        )
+        if not needs_trajectories:
+            return self._run_exact_merged(circuit, specs)
+        return self._run_trajectories_merged(circuit, specs)
+
+    @staticmethod
+    def _standalone_chunk_sizes(batch_size: int, shots: int) -> List[int]:
+        """The chunk decomposition a standalone run of *shots* would use."""
+        sizes = [batch_size] * (shots // batch_size)
+        if shots % batch_size:
+            sizes.append(shots % batch_size)
+        return sizes
+
+    @staticmethod
+    def _pack_merged_chunks(job_plans, cap: Optional[int]) -> List[List[tuple]]:
+        """First-fit pack standalone chunks into merged super-chunks.
+
+        *job_plans* maps job index -> list of ``(size, stream)`` standalone
+        chunks (``None`` for solo-fallback jobs).  Chunks are never split —
+        each keeps its standalone size and stream, so per-segment draws are
+        untouched; the packing only decides which chunks share one tensor
+        (bin choice cannot affect bit-identity, only throughput).  *cap* is
+        the super-chunk capacity in shots (``None`` = unbounded), the same
+        byte-budget-derived cap that sized the standalone chunks, so peak
+        memory per super-chunk matches a standalone chunk's.  Deterministic
+        and independent of worker count.  Returns super-chunks as lists of
+        ``(job, chunk_id, size, stream)``.
+        """
+        flat = [
+            (job, chunk_id, size, stream)
+            for job, plan in enumerate(job_plans)
+            if plan is not None
+            for chunk_id, (size, stream) in enumerate(plan)
+        ]
+        if cap is None:
+            return [flat] if flat else []
+        out: List[List[tuple]] = []
+        remaining: List[int] = []
+        for entry in flat:
+            size = entry[2]
+            for i in range(len(out)):
+                if remaining[i] >= size:
+                    out[i].append(entry)
+                    remaining[i] -= size
+                    break
+            else:
+                out.append([entry])
+                remaining.append(cap - size)
+        return out
+
+    def _run_merged_chunks_threaded(self, num_chunks: int, run_merged_chunk):
+        """Run merged super-chunks on the thread executor (serial when 1 worker).
+
+        Same BLAS-pinning policy as the standalone chunk dispatch; returns
+        the flattened ``(job, chunk_id, bits)`` rows of every super-chunk.
+        """
+        if num_chunks == 0:
+            return []
+        workers = min(self.trajectory_workers, num_chunks)
+        if workers <= 1:
+            return [
+                row for chunk in range(num_chunks) for row in run_merged_chunk(chunk)
+            ]
+        from .threads import limit_blas_threads
+
+        if self.pin_blas_threads:
+            guard = limit_blas_threads(max(1, (os.cpu_count() or 1) // workers))
+        else:
+            guard = nullcontext()
+        with guard, ThreadPoolExecutor(max_workers=workers) as pool:
+            return [
+                row
+                for chunk_rows in pool.map(run_merged_chunk, range(num_chunks))
+                for row in chunk_rows
+            ]
+
+    def _run_trajectories_merged(
+        self, circuit: Circuit, specs: List[Tuple[int, Optional[int]]]
+    ) -> List[SimulationResult]:
+        """Merged batched-amplitude execution (see :meth:`run_merged`)."""
+        from .fusion import compile_trajectory_program_cached
+
+        noise = self.noise_model
+        if noise is not None and noise.is_noiseless:
+            noise = None
+        program = compile_trajectory_program_cached(
+            circuit, noise, dtype=np.dtype(self.trajectory_dtype)
+        )
+        if self.verify_compiled:
+            self._verify_compiled_artifacts(circuit, program)
+        implicit = program.terminal is not None and program.terminal.implicit
+        n = circuit.num_qubits
+        job_plans: List[Optional[List[tuple]]] = []
+        job_batch: List[int] = []
+        for shots, seed in specs:
+            if shots == 0:
+                job_plans.append(None)
+                job_batch.append(0)
+                continue
+            batch_size = self._batch_size_for(n, shots)
+            sizes = self._standalone_chunk_sizes(batch_size, shots)
+            job_batch.append(batch_size)
+            if min(sizes) < 2:
+                # Width-1 guard: a one-shot chunk's dense GEMM rounds
+                # differently from the same column inside a wider batch
+                # (~1 ulp), which can flip a sampled outcome.  Bit-identity
+                # wins over merging, so the job runs solo.
+                job_plans.append(None)
+                continue
+            streams = np.random.SeedSequence(seed).spawn(len(sizes))
+            job_plans.append(list(zip(sizes, streams)))
+        if self.max_batch_memory is None:
+            cap = None
+        else:
+            itemsize = np.dtype(self.trajectory_dtype).itemsize
+            cap = max(1, self.max_batch_memory // (2 * itemsize * (1 << n)))
+        merged_chunks = self._pack_merged_chunks(job_plans, cap)
+
+        def run_merged_chunk(chunk: int):
+            segs = merged_chunks[chunk]
+            if self.fault_plan is not None:
+                self.fault_plan.fire(chunk, 0, executor="thread")
+            segments = [
+                (size, np.random.default_rng(stream)) for _, _, size, stream in segs
+            ]
+            merged_bits = execute_program_segments(
+                program,
+                segments,
+                noise_model=noise,
+                dtype=self.trajectory_dtype,
+                gemm_threshold=self.noise_gemm_threshold,
+            )
+            rows = []
+            offset = 0
+            for job, chunk_id, size, _ in segs:
+                rows.append((job, chunk_id, merged_bits[offset : offset + size]))
+                offset += size
+            return rows
+
+        recovery = None
+        if not merged_chunks:
+            rows = []
+        elif self.trajectory_executor == "process":
+            from .fusion import compile_parametric_template_cached
+            from .procpool import run_merged_trajectory_chunks
+
+            workers = min(self.trajectory_workers, len(merged_chunks))
+            blas_threads = (
+                max(1, (os.cpu_count() or 1) // workers)
+                if self.pin_blas_threads and workers > 1
+                else None
+            )
+            rows, recovery = run_merged_trajectory_chunks(
+                circuit,
+                compile_parametric_template_cached(circuit),
+                self.noise_model,
+                merged_chunks,
+                workers=workers,
+                dtype=self.trajectory_dtype,
+                gemm_threshold=self.noise_gemm_threshold,
+                blas_threads=blas_threads,
+                fault_plan=self.fault_plan,
+            )
+        else:
+            rows = self._run_merged_chunks_threaded(len(merged_chunks), run_merged_chunk)
+        per_job: Dict[int, Dict[int, np.ndarray]] = {}
+        for job, chunk_id, chunk_bits in rows:
+            per_job.setdefault(job, {})[chunk_id] = chunk_bits
+        results: List[SimulationResult] = []
+        for j, (shots, seed) in enumerate(specs):
+            if job_plans[j] is None:
+                results.append(self.run(circuit, shots=shots, seed=seed))
+                continue
+            chunks = per_job.get(j, {})
+            bits = np.concatenate(
+                [chunks[cid] for cid in range(len(job_plans[j]))], axis=0
+            )
+            metadata: Dict[str, object] = {
+                "method": "trajectories",
+                "statevector_kind": "none",
+                "trajectory_engine": "batched",
+                "trajectory_dtype": self.trajectory_dtype,
+                "trajectory_workers": self.trajectory_workers,
+                "trajectory_executor": self.trajectory_executor,
+                "implicit_measurement": implicit,
+                "num_batches": len(job_plans[j]),
+                "batch_size": job_batch[j],
+                "compiled_steps": len(program.steps),
+                "merged": {
+                    "group_size": len(specs),
+                    "position": j,
+                    "merged_chunks": len(merged_chunks),
+                },
+            }
+            if recovery is not None:
+                metadata["executor_recovery"] = recovery
+            result = SimulationResult(
+                counts=Counts.from_array(bits), shots=shots, seed=seed, metadata=metadata
+            )
+            if self.verify_compiled:
+                from .analysis import verify_result  # local: import cycle
+
+                verify_result(result).raise_if_failed()
+            results.append(result)
+        return results
+
+    def _run_stabilizer_merged(
+        self, circuit: Circuit, specs: List[Tuple[int, Optional[int]]]
+    ) -> List[SimulationResult]:
+        """Merged stabilizer-tableau execution (see :meth:`run_merged`).
+
+        Integer tableau updates are exact at every batch width, so there is
+        no width-1 guard here: every nonzero-shot job merges.
+        """
+        from .fusion import compile_stabilizer_program_cached  # local: import cycle
+        from .stabilizer import execute_stabilizer_program_segments
+
+        noise = self.noise_model
+        if noise is not None and noise.is_noiseless:
+            noise = None
+        program = compile_stabilizer_program_cached(circuit, noise)
+        if self.verify_compiled:
+            from .analysis import verify_stabilizer_program  # local: import cycle
+
+            verify_stabilizer_program(program).raise_if_failed()
+        implicit = program.terminal is not None and program.terminal.implicit
+        job_plans: List[Optional[List[tuple]]] = []
+        job_batch: List[int] = []
+        for shots, seed in specs:
+            if shots == 0:
+                job_plans.append(None)
+                job_batch.append(0)
+                continue
+            batch_size = self._stabilizer_batch_size(
+                circuit.num_qubits, program.bits_width, shots
+            )
+            sizes = self._standalone_chunk_sizes(batch_size, shots)
+            job_batch.append(batch_size)
+            streams = np.random.SeedSequence(seed).spawn(len(sizes))
+            job_plans.append(list(zip(sizes, streams)))
+        if self.max_batch_memory is None:
+            cap = None
+        else:
+            bytes_per_shot = 2 * circuit.num_qubits + program.bits_width
+            cap = max(1, self.max_batch_memory // bytes_per_shot)
+        merged_chunks = self._pack_merged_chunks(job_plans, cap)
+
+        def run_merged_chunk(chunk: int):
+            segs = merged_chunks[chunk]
+            if self.fault_plan is not None:
+                self.fault_plan.fire(chunk, 0, executor="thread")
+            segments = [
+                (size, np.random.default_rng(stream)) for _, _, size, stream in segs
+            ]
+            merged_bits = execute_stabilizer_program_segments(program, segments, noise)
+            rows = []
+            offset = 0
+            for job, chunk_id, size, _ in segs:
+                rows.append((job, chunk_id, merged_bits[offset : offset + size]))
+                offset += size
+            return rows
+
+        recovery = None
+        if not merged_chunks:
+            rows = []
+        elif self.trajectory_executor == "process":
+            from .procpool import run_merged_stabilizer_chunks
+
+            workers = min(self.trajectory_workers, len(merged_chunks))
+            rows, recovery = run_merged_stabilizer_chunks(
+                program,
+                noise,
+                merged_chunks,
+                workers=workers,
+                fault_plan=self.fault_plan,
+            )
+        else:
+            rows = self._run_merged_chunks_threaded(len(merged_chunks), run_merged_chunk)
+        per_job: Dict[int, Dict[int, np.ndarray]] = {}
+        for job, chunk_id, chunk_bits in rows:
+            per_job.setdefault(job, {})[chunk_id] = chunk_bits
+        results: List[SimulationResult] = []
+        for j, (shots, seed) in enumerate(specs):
+            if job_plans[j] is None:
+                results.append(self.run(circuit, shots=shots, seed=seed))
+                continue
+            chunks = per_job.get(j, {})
+            bits = np.concatenate(
+                [chunks[cid] for cid in range(len(job_plans[j]))], axis=0
+            )
+            metadata: Dict[str, object] = {
+                "method": "trajectories",
+                "statevector_kind": "none",
+                "trajectory_engine": "stabilizer",
+                "trajectory_workers": self.trajectory_workers,
+                "trajectory_executor": self.trajectory_executor,
+                "implicit_measurement": implicit,
+                "num_batches": len(job_plans[j]),
+                "batch_size": job_batch[j],
+                "compiled_steps": len(program.steps),
+                "merged": {
+                    "group_size": len(specs),
+                    "position": j,
+                    "merged_chunks": len(merged_chunks),
+                },
+            }
+            if recovery is not None:
+                metadata["executor_recovery"] = recovery
+            result = SimulationResult(
+                counts=Counts.from_array(bits), shots=shots, seed=seed, metadata=metadata
+            )
+            if self.verify_compiled:
+                from .analysis import verify_result  # local: import cycle
+
+                verify_result(result).raise_if_failed()
+            results.append(result)
+        return results
+
+    def _run_exact_merged(
+        self, circuit: Circuit, specs: List[Tuple[int, Optional[int]]]
+    ) -> List[SimulationResult]:
+        """Merged exact-path execution: one evolution, per-job sampling.
+
+        The exact path consumes no RNG before sampling, so evolving once and
+        drawing each job's shots with a fresh per-job generator is trivially
+        bit-identical to N standalone runs.
+        """
+        state, measure_map = self._evolve_exact(circuit)
+        results: List[SimulationResult] = []
+        for j, (shots, seed) in enumerate(specs):
+            rng = np.random.default_rng(seed)
+            counts, extra = self._sample_exact(state, measure_map, circuit, shots, rng)
+            metadata: Dict[str, object] = {
+                "method": "exact",
+                "statevector_kind": "pre_measurement",
+                "merged": {
+                    "group_size": len(specs),
+                    "position": j,
+                    "merged_chunks": 1,
+                },
+            }
+            metadata.update(extra)
+            result = SimulationResult(
+                counts=counts, shots=shots, seed=seed, metadata=metadata
+            )
+            if self.verify_compiled:
+                from .analysis import verify_result  # local: import cycle
+
+                verify_result(result).raise_if_failed()
+            results.append(result)
+        return results
+
     def _verify_compiled_artifacts(self, circuit: Circuit, program) -> None:
         """``verify_compiled`` knob path: verify one run's compiled artifacts.
 
@@ -833,6 +1228,17 @@ class StatevectorSimulator:
         structurally identical circuits — a variational optimisation loop —
         skip the fusion analysis and only re-bind the fused matrices.
         """
+        state, measure_map = self._evolve_exact(circuit)
+        counts, extra = self._sample_exact(state, measure_map, circuit, shots, rng)
+        return counts, state, extra
+
+    def _evolve_exact(self, circuit: Circuit) -> Tuple[Statevector, Dict[int, int]]:
+        """Evolve the exact pre-measurement state of *circuit* once.
+
+        Returns the evolved :class:`Statevector` and the clbit -> qubit map of
+        the circuit's (terminal) measure instructions.  Shared by the solo and
+        merged exact paths.
+        """
         from .fusion import compile_trajectory_program_cached  # local: import cycle
 
         state = Statevector(circuit.num_qubits)
@@ -851,14 +1257,30 @@ class StatevectorSimulator:
                 self._verify_compiled_artifacts(gates_only, program)
             for step in program.steps:
                 state.apply_matrix(step.matrix, step.qubits, plan=step.plan)
+        return state, measure_map
 
+    @staticmethod
+    def _sample_exact(
+        state: Statevector,
+        measure_map: Dict[int, int],
+        circuit: Circuit,
+        shots: int,
+        rng: np.random.Generator,
+    ) -> Tuple[Counts, Dict[str, object]]:
+        """Sample *shots* outcomes from an already-evolved exact state.
+
+        Split out of :meth:`_run_exact` so merged-group execution
+        (:meth:`run_merged`) can evolve the shared state once and draw each
+        job's shots with the job's own fresh generator — exactly the draws a
+        standalone run makes, since the exact path consumes no RNG before
+        sampling.
+        """
         if shots == 0:
-            return Counts({}), state, {"implicit_measurement": False}
+            return Counts({}), {"implicit_measurement": False}
         if not measure_map:
             # Documented contract: measurement-free circuits are measured
             # implicitly at the end, keyed over all qubits in qubit order.
-            counts = state.sample_counts(shots, rng)
-            return counts, state, {"implicit_measurement": True}
+            return state.sample_counts(shots, rng), {"implicit_measurement": True}
 
         num_clbits = circuit.num_clbits
         probs = state.probabilities()
@@ -871,7 +1293,7 @@ class StatevectorSimulator:
                 key_chars[clbit] = full[qubit]
             key = "".join(key_chars)
             data[key] = data.get(key, 0) + int(multiplicity)
-        return Counts(data), state, {"implicit_measurement": False}
+        return Counts(data), {"implicit_measurement": False}
 
     # -- trajectory path -----------------------------------------------------------
     def _run_trajectories(
@@ -1165,3 +1587,60 @@ def execute_program_chunk(
                 column = noise.apply_readout_error_batched(column, rng)
             bits[:, clbit] = column
     return bits, state, last_index
+
+
+def execute_program_segments(
+    program,
+    segments,
+    *,
+    noise_model: Optional[NoiseModel],
+    dtype,
+    gemm_threshold,
+) -> np.ndarray:
+    """Advance one merged super-chunk: several jobs' chunks on one batch axis.
+
+    *segments* is a sequence of ``(size, generator)`` pairs partitioning the
+    batch axis; each pair is one standalone chunk of one job, carrying that
+    chunk's own ``SeedSequence``-spawned generator.  The shared tensor
+    evolution is per-column pure (dense broadcast GEMMs produce bit-identical
+    columns at every batch width >= 2 — callers must keep width-1 chunks out
+    of merged runs), and every random draw (noise events, mid-circuit
+    measurements, terminal sampling, readout flips) is pulled per segment in
+    standalone order and size.  Slicing the returned rows back per segment
+    therefore reproduces each job's solo chunk bit for bit.
+
+    Module-level for the same reason as :func:`execute_program_chunk`: the
+    thread executor and the process-pool workers run the *same* merged-chunk
+    code.  Returns only the concatenated ``(sum(sizes), bits_width)``
+    classical-bit rows — merged runs carry no statevector.
+    """
+    from .batched import BatchedStatevector  # local import: cycle with batched.py
+    from .fusion import GateStep, MeasureStep, ResetStep
+
+    total = sum(size for size, _ in segments)
+    state = BatchedStatevector(program.num_qubits, total, dtype=np.dtype(dtype))
+    noise = noise_model
+    bits = np.zeros((total, program.bits_width), dtype=np.uint8)
+    for step in program.steps:
+        if isinstance(step, GateStep):
+            state.apply_matrix(step.matrix, step.qubits, plan=step.plan)
+            if step.noise:
+                state.apply_noise_events(
+                    step.noise, None, gemm_threshold=gemm_threshold, segments=segments
+                )
+        elif isinstance(step, MeasureStep):
+            outcomes = state.measure(step.qubit, None, segments=segments)
+            if noise is not None:
+                outcomes = noise.apply_readout_error_segmented(outcomes, segments)
+            bits[:, step.clbit] = outcomes
+        elif isinstance(step, ResetStep):
+            state.reset(step.qubit, None, segments=segments)
+    if program.terminal is not None:
+        indices = state.sample_all(None, segments=segments)
+        n = program.num_qubits
+        for qubit, clbit in program.terminal.pairs:
+            column = ((indices >> (n - 1 - qubit)) & 1).astype(np.uint8)
+            if noise is not None and not program.terminal.implicit:
+                column = noise.apply_readout_error_segmented(column, segments)
+            bits[:, clbit] = column
+    return bits

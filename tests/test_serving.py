@@ -66,6 +66,8 @@ def test_submit_many_coalesces_identical_structures():
         "failed": 0,
         "groups": 1,
         "coalesced": 4,
+        "merged_groups": 1,
+        "merged_jobs": 5,
         "retries": 0,
         "crashes_recovered": 0,
         "deadline_kills": 0,
@@ -81,6 +83,7 @@ def test_submit_many_coalesces_identical_structures():
         serving = results[ticket.name].metadata["serving"]
         assert serving["group_size"] == 5
         assert serving["job_id"] == ticket.job_id
+        assert serving["merged"] is True
         positions.add(serving["group_position"])
     assert positions == set(range(5))
     # Different seeds really did run independently.

@@ -1,0 +1,217 @@
+"""Tests for the serving layer's merged (batch-axis) group execution.
+
+The serving contract on top of :meth:`StatevectorSimulator.run_merged`: a
+coalesced group of merge-eligible jobs executes as **one** backend call, each
+ticket gets back exactly the counts a standalone submission would produce,
+and the fast path degrades gracefully — per-job opt-out, cancelled members,
+a member's deadline expiry, and whole-group failures all isolate to the
+affected ticket while the rest of the group still completes (merged when
+``>= 2`` members remain live, solo otherwise).  Also covered: the cached
+lowering artifact means no job is lowered again at execution time.
+"""
+
+import threading
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.core import ContextDescriptor, ExecPolicy, package, phase_register
+from repro.core.errors import DeadlineExceededError
+from repro.oplib import measurement, qft_operator
+from repro.services import JobService
+from repro.services import serving as serving_module
+
+
+def qft_bundle(name, *, width=4, seed=1, samples=256, options=None):
+    reg = phase_register("p", width)
+    return package(
+        reg,
+        [qft_operator(reg, do_swaps=True), measurement(reg)],
+        ContextDescriptor(
+            exec=ExecPolicy(
+                engine="gate.aer_simulator",
+                samples=samples,
+                seed=seed,
+                options=dict(options or {}),
+            )
+        ),
+        name=name,
+    )
+
+
+NOISY = {"noise": {"oneq_error": 0.01, "twoq_error": 0.02}, "max_batch_memory": 16 * 1024}
+
+
+def group(prefix, size, *, options=None):
+    """A merge-eligible group: same structure, per-job samples and seeds."""
+    return [
+        qft_bundle(
+            f"{prefix}{i}", seed=i + 1, samples=128 + 64 * i, options=options
+        )
+        for i in range(size)
+    ]
+
+
+def counts_by_name(service, bundles):
+    tickets = service.submit_many(bundles)
+    return {t.name: dict(t.result(timeout=120).counts) for t in tickets}, tickets
+
+
+# -- bit-identity through the service -----------------------------------------------
+
+@pytest.mark.parametrize("options", [None, NOISY], ids=["exact", "trajectories"])
+def test_merged_service_counts_match_back_to_back(options):
+    bundles = group("m", 4, options=options)
+    with JobService(lanes=1) as merged_service:
+        merged, tickets = counts_by_name(merged_service, bundles)
+        merged_stats = merged_service.stats()
+    with JobService(lanes=1, coalesce_merge=False) as solo_service:
+        solo, _ = counts_by_name(solo_service, group("m", 4, options=options))
+        solo_stats = solo_service.stats()
+    assert merged == solo
+    assert merged_stats["merged_groups"] == 1
+    assert merged_stats["merged_jobs"] == 4
+    assert solo_stats["merged_groups"] == 0
+    assert solo_stats["merged_jobs"] == 0
+    for ticket in tickets:
+        serving = ticket.result().metadata["serving"]
+        assert serving["merged"] is True
+        assert serving["group_size"] == 4
+
+
+def test_per_job_opt_out_runs_solo_next_to_the_merge():
+    bundles = group("o", 3)
+    bundles.append(
+        qft_bundle("o3", seed=4, samples=320, options={"coalesce_merge": False})
+    )
+    with JobService(lanes=1) as service:
+        results, tickets = counts_by_name(service, bundles)
+        stats = service.stats()
+    assert stats["merged_groups"] == 1
+    assert stats["merged_jobs"] == 3
+    assert stats["completed"] == 4
+    by_name = {t.name: t for t in tickets}
+    assert by_name["o3"].result().metadata["serving"]["merged"] is False
+    assert by_name["o0"].result().metadata["serving"]["merged"] is True
+    # The opted-out job's counts match its own standalone submission.
+    with JobService(lanes=1, coalesce=False) as solo_service:
+        alone = solo_service.submit(
+            qft_bundle("o3", seed=4, samples=320)
+        ).result(timeout=120)
+    assert results["o3"] == dict(alone.counts)
+
+
+def test_lowering_happens_once_per_job():
+    # The coalescing key already lowered every bundle; execution must reuse
+    # that cached artifact instead of lowering a second time.
+    from repro.backends.gate_backend import GateBackend
+
+    calls = []
+    real_build = GateBackend.build_circuit
+
+    def counting_build(self, bundle):
+        calls.append(bundle.name)
+        return real_build(self, bundle)
+
+    bundles = group("lo", 3)
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setattr(GateBackend, "build_circuit", counting_build)
+        with JobService(lanes=1) as service:
+            tickets = service.submit_many(bundles)
+            keyed = list(calls)
+            for ticket in tickets:
+                ticket.result(timeout=120)
+            executed = list(calls)
+    assert len(keyed) == 3  # once per job, at admission
+    assert executed == keyed  # and never again during execution
+
+
+# -- failure isolation --------------------------------------------------------------
+
+def test_cancelled_member_does_not_poison_the_merge(monkeypatch):
+    real_submit = serving_module.runtime_submit
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated_submit(bundle, **kwargs):
+        started.set()
+        assert release.wait(timeout=60)
+        return real_submit(bundle, **kwargs)
+
+    monkeypatch.setattr(serving_module, "runtime_submit", gated_submit)
+    with JobService(lanes=1) as service:
+        # A structurally different blocker pins the single lane so the
+        # group is still pending when one member is cancelled.
+        blocker = service.submit(qft_bundle("blocker", width=3))
+        assert started.wait(timeout=60)
+        tickets = service.submit_many(group("c", 3))
+        assert tickets[1].cancel() is True
+        release.set()
+        assert blocker.result(timeout=120) is not None
+        with pytest.raises(CancelledError):
+            tickets[1].result(timeout=120)
+        survivors = [tickets[0], tickets[2]]
+        for ticket in survivors:
+            serving = ticket.result(timeout=120).metadata["serving"]
+            assert serving["merged"] is True  # two live members still merge
+        stats = service.stats()
+    assert stats["cancelled"] == 1
+    assert stats["merged_groups"] == 1
+    assert stats["merged_jobs"] == 2
+    assert stats["completed"] == 3  # blocker + two survivors
+
+
+def test_deadline_member_fails_alone_survivors_rerun_solo(monkeypatch):
+    release = threading.Event()
+
+    def stuck_merged(bundles, **kwargs):
+        assert release.wait(timeout=60)
+        raise AssertionError("the abandoned merged attempt must be discarded")
+
+    monkeypatch.setattr(serving_module, "runtime_submit_merged", stuck_merged)
+    bundles = group("d", 3)
+    bundles[1] = qft_bundle(
+        "d1", seed=2, samples=192, options={"deadline_s": 0.15}
+    )
+    try:
+        with JobService(lanes=1) as service:
+            tickets = service.submit_many(bundles)
+            # The member with the spent deadline fails permanently...
+            assert isinstance(
+                tickets[1].exception(timeout=120), DeadlineExceededError
+            )
+            # ...while the deadline-free members re-run solo and succeed.
+            for ticket in (tickets[0], tickets[2]):
+                serving = ticket.result(timeout=120).metadata["serving"]
+                assert serving["merged"] is False
+            stats = service.stats()
+    finally:
+        release.set()
+    assert stats["deadline_kills"] == 1
+    assert stats["failed"] == 1
+    assert stats["completed"] == 2
+    assert stats["merged_jobs"] == 0
+
+
+def test_merged_failure_falls_back_to_solo_for_every_member(monkeypatch):
+    attempts = []
+
+    def exploding_merged(bundles, **kwargs):
+        attempts.append(len(bundles))
+        raise RuntimeError("merged path fell over")
+
+    monkeypatch.setattr(serving_module, "runtime_submit_merged", exploding_merged)
+    bundles = group("f", 3)
+    with JobService(lanes=1) as service:
+        merged, tickets = counts_by_name(service, bundles)
+        stats = service.stats()
+    assert attempts == [3]  # one merged attempt for the whole subgroup
+    assert stats["completed"] == 3
+    assert stats["failed"] == 0
+    assert stats["merged_groups"] == 0  # nothing completed via the fast path
+    for ticket in tickets:
+        assert ticket.result().metadata["serving"]["merged"] is False
+    # The solo fallback still produces standalone-identical counts.
+    with JobService(lanes=1, coalesce_merge=False) as solo_service:
+        solo, _ = counts_by_name(solo_service, group("f", 3))
+    assert merged == solo
